@@ -1,0 +1,1 @@
+bin/instances.ml: Bgp List Printf Spp String

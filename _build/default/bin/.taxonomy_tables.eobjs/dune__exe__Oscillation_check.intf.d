@@ -1,0 +1,1 @@
+bin/oscillation_check.mli:

@@ -1,0 +1,1 @@
+bin/realization_route.ml: Arg Cmd Cmdliner Engine Executor Format Instances List Model Printf Realization Relation Scheduler Seqcheck String Term Trace Transform

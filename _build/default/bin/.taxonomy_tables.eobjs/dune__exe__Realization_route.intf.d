@@ -1,0 +1,1 @@
+bin/realization_route.mli:

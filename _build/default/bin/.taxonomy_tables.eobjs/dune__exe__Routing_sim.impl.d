@@ -1,0 +1,1 @@
+bin/routing_sim.ml: Arg Cmd Cmdliner Engine Executor Format Instances List Model Printf Replay Scheduler Spp State String Term Trace

@@ -1,0 +1,1 @@
+bin/routing_sim.mli:

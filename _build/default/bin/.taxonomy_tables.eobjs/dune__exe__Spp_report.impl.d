@@ -1,0 +1,1 @@
+bin/spp_report.ml: Arg Cmd Cmdliner Engine Format Instances List Model Modelcheck Printf Spp String Term

@@ -1,0 +1,1 @@
+bin/spp_report.mli:

@@ -1,0 +1,1 @@
+bin/taxonomy_tables.ml: Engine Realization

@@ -1,0 +1,36 @@
+(* Shared instance selection for the command-line tools. *)
+
+let catalogue () =
+  Spp.Gadgets.all_named ()
+  @ [ ("SHORTEST-PATHS", Spp.Gadgets.shortest_paths ~n:5) ]
+
+let find name =
+  let up = String.uppercase_ascii name in
+  match List.assoc_opt up (catalogue ()) with
+  | Some inst -> Ok inst
+  | None -> (
+    (* bgp:<seed> and random:<seed> are generated families. *)
+    match String.split_on_char ':' (String.lowercase_ascii name) with
+    | [ "bgp"; seed ] -> (
+      match int_of_string_opt seed with
+      | Some seed ->
+        let topo = Bgp.Topology.generate { Bgp.Topology.default_config with seed } in
+        Ok (Bgp.Policy.compile topo ~dest:(Bgp.Topology.size topo - 1))
+      | None -> Error (`Msg "bgp:<seed> expects an integer seed"))
+    | [ "random"; seed ] -> (
+      match int_of_string_opt seed with
+      | Some seed -> Ok (Spp.Generator.instance { Spp.Generator.default with seed })
+      | None -> Error (`Msg "random:<seed> expects an integer seed"))
+    | "file" :: rest -> (
+      match Spp.Dsl.parse_file (String.concat ":" rest) with
+      | Ok inst -> Ok inst
+      | Error e -> Error (`Msg e))
+    | _ ->
+      Error
+        (`Msg
+          (Printf.sprintf
+             "unknown instance %S (try %s, bgp:<seed>, random:<seed> or file:<path>)" name
+             (String.concat ", " (List.map fst (catalogue ()))))))
+
+let names () =
+  List.map fst (catalogue ()) @ [ "bgp:<seed>"; "random:<seed>"; "file:<path>" ]

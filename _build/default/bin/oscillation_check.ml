@@ -1,0 +1,67 @@
+(* oscillation_check: exhaustively decide (over bounded channels) whether an
+   instance can oscillate under fair schedules of a communication model, and
+   optionally replay the discovered witness through the executor. *)
+
+open Engine
+open Cmdliner
+
+let check instance_name model_names bound max_states verify =
+  match Instances.find instance_name with
+  | Error (`Msg m) -> `Error (false, m)
+  | Ok inst ->
+    let models =
+      match model_names with
+      | [] -> Model.all
+      | names ->
+        List.map
+          (fun n ->
+            match Model.of_string (String.uppercase_ascii n) with
+            | Some m -> m
+            | None -> failwith (Printf.sprintf "unknown model %S" n))
+          names
+    in
+    let config = { Modelcheck.Explore.channel_bound = bound; max_states } in
+    List.iter
+      (fun m ->
+        let t0 = Unix.gettimeofday () in
+        let v = Modelcheck.Oscillation.analyze ~config inst m in
+        let extra =
+          match v with
+          | Modelcheck.Oscillation.Oscillates w when verify ->
+            if Modelcheck.Oscillation.verify_witness inst m w then " [witness replays]"
+            else " [WITNESS FAILED TO REPLAY]"
+          | _ -> ""
+        in
+        Format.printf "%-4s %a%s (%.2fs)@." (Model.to_string m)
+          Modelcheck.Oscillation.pp_verdict v extra
+          (Unix.gettimeofday () -. t0);
+        Format.print_flush ())
+      models;
+    `Ok ()
+
+let instance_arg =
+  let doc =
+    Printf.sprintf "Instance to check: %s." (String.concat ", " (Instances.names ()))
+  in
+  Arg.(value & opt string "DISAGREE" & info [ "i"; "instance" ] ~docv:"NAME" ~doc)
+
+let models_arg =
+  let doc = "Models to check (repeatable); default: all 24." in
+  Arg.(value & opt_all string [] & info [ "m"; "model" ] ~docv:"MODEL" ~doc)
+
+let bound_arg =
+  Arg.(value & opt int 4 & info [ "bound" ] ~docv:"B" ~doc:"Per-channel message bound.")
+
+let states_arg =
+  Arg.(value & opt int 200_000 & info [ "max-states" ] ~docv:"N" ~doc:"State limit.")
+
+let verify_arg =
+  Arg.(value & flag & info [ "verify" ] ~doc:"Replay oscillation witnesses.")
+
+let cmd =
+  let doc = "decide fair-oscillation possibility per communication model" in
+  Cmd.v
+    (Cmd.info "oscillation_check" ~doc)
+    Term.(ret (const check $ instance_arg $ models_arg $ bound_arg $ states_arg $ verify_arg))
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,87 @@
+(* routing_sim: run the iterative routing algorithm on an instance under a
+   chosen communication model and schedule, printing the appendix-style
+   trace table and the stop reason. *)
+
+open Engine
+open Cmdliner
+
+let run_sim instance_name model_name scheduler_name seed max_steps quiet save load =
+  match Instances.find instance_name with
+  | Error (`Msg m) -> `Error (false, m)
+  | Ok inst -> (
+    match Model.of_string (String.uppercase_ascii model_name) with
+    | None -> `Error (false, Printf.sprintf "unknown model %S (e.g. R1O, RMS, REA)" model_name)
+    | Some model ->
+      let sched =
+        match load with
+        | Some path -> (
+          match Replay.load inst ~path with
+          | Ok entries -> Scheduler.of_entries entries
+          | Error e -> failwith e)
+        | None -> (
+          match scheduler_name with
+          | "rr" | "round-robin" -> Scheduler.round_robin inst model
+          | "random" -> Scheduler.random inst model ~seed
+          | other -> failwith (Printf.sprintf "unknown scheduler %S (rr or random)" other))
+      in
+      let validate = if load = None then Some model else None in
+      let r = Executor.run ?validate ~max_steps inst sched in
+      (match save with
+      | Some path ->
+        Replay.save inst ~path
+          (List.map (fun (s : Trace.step) -> s.Trace.entry) (Trace.steps r.Executor.trace));
+        Format.printf "schedule saved to %s@." path
+      | None -> ());
+      if not quiet then begin
+        Format.printf "%a@.@." Spp.Instance.pp inst;
+        Format.printf "model %s, scheduler %s@.@." (Model.to_string model)
+          sched.Scheduler.description
+      end;
+      Format.printf "%s@.@." (Trace.paper_table r.Executor.trace);
+      Format.printf "stop: %a after %d steps@." Executor.pp_stop r.Executor.stop
+        (Trace.length r.Executor.trace);
+      let final = State.assignment inst (Trace.final r.Executor.trace) in
+      Format.printf "final assignment: %a (stable solution: %b)@."
+        (Spp.Assignment.pp inst) final
+        (Spp.Assignment.is_solution inst final);
+      `Ok ())
+
+let instance_arg =
+  let doc =
+    Printf.sprintf "Instance to run: %s." (String.concat ", " (Instances.names ()))
+  in
+  Arg.(value & opt string "DISAGREE" & info [ "i"; "instance" ] ~docv:"NAME" ~doc)
+
+let model_arg =
+  let doc = "Communication model (one of the 24 taxonomy names, e.g. RMS)." in
+  Arg.(value & opt string "RMS" & info [ "m"; "model" ] ~docv:"MODEL" ~doc)
+
+let scheduler_arg =
+  let doc = "Schedule: 'rr' (fair round-robin) or 'random' (fair randomized)." in
+  Arg.(value & opt string "rr" & info [ "s"; "scheduler" ] ~docv:"SCHED" ~doc)
+
+let seed_arg =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Random scheduler seed.")
+
+let steps_arg =
+  Arg.(value & opt int 2000 & info [ "max-steps" ] ~docv:"N" ~doc:"Step limit.")
+
+let quiet_arg = Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Only print the trace.")
+
+let save_arg =
+  Arg.(value & opt (some string) None & info [ "save" ] ~docv:"FILE"
+       ~doc:"Save the executed schedule (Replay format).")
+
+let load_arg =
+  Arg.(value & opt (some string) None & info [ "load" ] ~docv:"FILE"
+       ~doc:"Replay a saved schedule instead of generating one.")
+
+let cmd =
+  let doc = "simulate distributed autonomous routing under a communication model" in
+  Cmd.v
+    (Cmd.info "routing_sim" ~doc)
+    Term.(
+      ret (const run_sim $ instance_arg $ model_arg $ scheduler_arg $ seed_arg $ steps_arg
+           $ quiet_arg $ save_arg $ load_arg))
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,48 @@
+(* spp_report: a one-stop analysis of an SPP instance — structure,
+   solvability, dispute wheels, and per-model convergence verdicts. *)
+
+open Engine
+open Cmdliner
+
+let run instance_name model_names bound =
+  match Instances.find instance_name with
+  | Error (`Msg m) -> `Error (false, m)
+  | Ok inst ->
+    let models =
+      match model_names with
+      | [] -> None
+      | names ->
+        Some
+          (List.map
+             (fun n ->
+               match Model.of_string (String.uppercase_ascii n) with
+               | Some m -> m
+               | None -> failwith (Printf.sprintf "unknown model %S" n))
+             names)
+    in
+    let config = { Modelcheck.Explore.default_config with Modelcheck.Explore.channel_bound = bound } in
+    Format.printf "%a@.@." Spp.Instance.pp inst;
+    let report = Modelcheck.Report.analyze ?models ~config inst in
+    print_string (Modelcheck.Report.to_string inst report);
+    `Ok ()
+
+let instance_arg =
+  let doc =
+    Printf.sprintf "Instance to analyze: %s." (String.concat ", " (Instances.names ()))
+  in
+  Arg.(value & opt string "DISAGREE" & info [ "i"; "instance" ] ~docv:"NAME" ~doc)
+
+let models_arg =
+  let doc = "Models to check (repeatable); default: R1O, RMS, REA." in
+  Arg.(value & opt_all string [] & info [ "m"; "model" ] ~docv:"MODEL" ~doc)
+
+let bound_arg =
+  Arg.(value & opt int 4 & info [ "bound" ] ~docv:"B" ~doc:"Per-channel message bound.")
+
+let cmd =
+  let doc = "analyze an SPP instance end to end" in
+  Cmd.v
+    (Cmd.info "spp_report" ~doc)
+    Term.(ret (const run $ instance_arg $ models_arg $ bound_arg))
+
+let () = exit (Cmd.eval cmd)

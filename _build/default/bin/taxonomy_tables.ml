@@ -1,0 +1,8 @@
+let () =
+  let closure = Realization.Closure.derive () in
+  print_endline "=== Figure 3 (reliable realizers) ===";
+  print_string (Realization.Closure.render closure ~realizers:Engine.Model.reliable);
+  print_endline "=== Figure 4 (unreliable realizers) ===";
+  print_string (Realization.Closure.render closure ~realizers:Engine.Model.unreliable);
+  print_endline "";
+  print_string (Realization.Paper_tables.summary closure)

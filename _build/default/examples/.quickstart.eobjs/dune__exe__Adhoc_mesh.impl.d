@@ -1,0 +1,1 @@
+examples/adhoc_mesh.ml: Array Assignment Commrouting Dispute Engine Executor Format Fun Instance List Model Option Printf Scheduler Spp State Stats Surgery Trace

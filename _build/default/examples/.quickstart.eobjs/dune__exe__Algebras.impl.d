@@ -1,0 +1,1 @@
+examples/algebras.ml: Algebra Commrouting Dispute Engine Fmt Format Instance List Option Solver Spp

@@ -1,0 +1,1 @@
+examples/bgp_convergence.ml: Bgp Commrouting Engine Format List Model Option Scheduler Spp

@@ -1,0 +1,1 @@
+examples/link_failure.ml: Bgp Commrouting Engine Executor Format Hashtbl List Model Option Scheduler Spp State Trace

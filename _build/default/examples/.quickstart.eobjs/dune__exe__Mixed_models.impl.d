@@ -1,0 +1,1 @@
+examples/mixed_models.ml: Commrouting Engine Executor Format Hetero List Model Modelcheck Multi Option Spp Trace

@@ -1,0 +1,1 @@
+examples/oscillation_hunt.ml: Commrouting Engine Format List Model Modelcheck Option Spp

@@ -1,0 +1,1 @@
+examples/oscillation_hunt.mli:

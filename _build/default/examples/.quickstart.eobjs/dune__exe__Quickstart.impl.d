@@ -1,0 +1,1 @@
+examples/quickstart.ml: Activation Channel Commrouting Engine Executor Format List Model Modelcheck Option Scheduler Spp State Trace

@@ -1,0 +1,1 @@
+examples/realization_demo.ml: Commrouting Engine Executor Format List Model Option Printf Realization Relation Scheduler Seqcheck Spp String Trace Transform

@@ -1,0 +1,1 @@
+examples/realization_demo.mli:

@@ -1,0 +1,1 @@
+examples/taxonomy_tour.ml: Closure Commrouting Engine Format Fun List Model Option Paper_tables Realization String

@@ -1,0 +1,1 @@
+examples/taxonomy_tour.mli:

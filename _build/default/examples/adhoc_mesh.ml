@@ -1,0 +1,87 @@
+(* An ad-hoc wireless mesh under unreliable channels.
+
+     dune exec examples/adhoc_mesh.exe
+
+   The paper's abstract names AODV, and its taxonomy is "the first work to
+   consider the algorithmic properties of interdomain routing over
+   unreliable channels" — e.g. wireless networks without TCP.  This
+   example builds a random geometric mesh with hop-count (AODV-flavored)
+   ranking, runs it under the datagram queueing model UMS with a fair
+   randomized schedule (message loss included), and then moves a node out
+   of range, re-converging across the mobility event via state surgery. *)
+
+open Commrouting
+open Engine
+open Spp
+
+let model s = Option.get (Model.of_string s)
+
+(* A deterministic "geometric" mesh: n nodes on a line with links between
+   nodes at distance <= 2, destination at one end — a corridor of relays. *)
+let corridor ~n ~broken =
+  let names = Array.init n (fun i -> if i = 0 then "d" else Printf.sprintf "n%d" i) in
+  let edges =
+    List.concat
+      (List.init n (fun i ->
+           List.filter_map
+             (fun j ->
+               if j > i && j - i <= 2 && not (List.mem (i, j) broken) then Some (i, j)
+               else None)
+             (List.init n Fun.id)))
+  in
+  let adj = Array.make n [] in
+  List.iter
+    (fun (u, v) ->
+      adj.(u) <- v :: adj.(u);
+      adj.(v) <- u :: adj.(v))
+    edges;
+  let paths_of v =
+    let acc = ref [] in
+    let rec explore path u len =
+      if u = 0 then acc := List.rev path :: !acc
+      else if len < 6 then
+        List.iter
+          (fun w -> if not (List.mem w path) then explore (w :: path) w (len + 1))
+          adj.(u)
+    in
+    explore [ v ] v 0;
+    List.sort (fun p q -> compare (List.length p, p) (List.length q, q)) !acc
+  in
+  Instance.make ~names ~dest:0 ~edges
+    ~permitted:(List.init (n - 1) (fun i -> (i + 1, paths_of (i + 1))))
+
+let stats inst ~seeds =
+  Stats.across_seeds inst
+    ~scheduler:(fun ~seed -> Scheduler.random inst (model "UMS") ~seed)
+    ~seeds
+
+let () =
+  let n = 7 in
+  let inst = corridor ~n ~broken:[] in
+  Format.printf "%a@." Instance.pp inst;
+  Format.printf "dispute wheel: %b (hop-count ranking is safe)@.@."
+    (Dispute.has_wheel inst);
+
+  Format.printf "== datagram convergence (UMS, random schedules with loss) ==@.";
+  Format.printf "  %a@." Stats.pp_summary (stats inst ~seeds:[ 1; 2; 3; 4; 5 ]);
+  Format.printf
+    "  ('stale' runs parked in a dead end after losing a final update - the@.\
+    \  executions Def. 2.4's fairness condition excludes; see DESIGN.md)@.@.";
+
+  (* Converge once deterministically, then break two of n2's links (it
+     drifted out of range), transplant the state, and re-converge. *)
+  let m = model "UMS" in
+  let r = Executor.run ~validate:m inst (Scheduler.round_robin inst m) in
+  let final = Trace.final r.Executor.trace in
+  Format.printf "== mobility event: n2 drifts out of range of d and n3 ==@.";
+  let inst' = corridor ~n ~broken:[ (0, 2); (2, 3) ] in
+  let st = Surgery.transplant ~old_instance:inst ~new_instance:inst' final in
+  let r' =
+    Executor.run_from ~state:st ~max_steps:5_000 inst' (Scheduler.round_robin inst' m)
+  in
+  Format.printf "re-convergence: %a in %d steps@." Executor.pp_stop r'.Executor.stop
+    (Trace.length r'.Executor.trace);
+  let after = State.assignment inst' (Trace.final r'.Executor.trace) in
+  Format.printf "new routes: %a@." (Assignment.pp inst') after;
+  Format.printf "stable solution of the new mesh: %b@."
+    (Assignment.is_solution inst' after)

@@ -1,0 +1,66 @@
+(* Routing algebras on the same engine.
+
+     dune exec examples/algebras.exe
+
+   The paper's related work (refs. [10, 17]) treats routing policies
+   algebraically; this example compiles three algebras over one labeled
+   topology into SPP instances and shows that the whole toolchain — solver,
+   dispute-wheel detector, model checker — applies uniformly. *)
+
+open Commrouting
+open Spp
+
+let model s = Option.get (Engine.Model.of_string s)
+
+(* A diamond with a shortcut; labels double as costs and capacities.
+
+          1 ----- 0 (dest)
+          | \     |
+          |  \    |
+          2 --- 3 |
+           \______|
+*)
+let graph =
+  {
+    Algebra.names = [| "d"; "a"; "b"; "c" |];
+    dest = 0;
+    links =
+      [
+        (0, 1, 5, 5);
+        (* expensive / fat *)
+        (0, 3, 1, 1);
+        (1, 2, 1, 1);
+        (1, 3, 2, 2);
+        (2, 3, 1, 1);
+      ];
+  }
+
+let show name inst =
+  Format.printf "== %s ==@." name;
+  List.iter
+    (fun v ->
+      if v <> Instance.dest inst then
+        Format.printf "  %s prefers: %a@." (Instance.name inst v)
+          Fmt.(list ~sep:(any " > ") (Instance.pp_path inst))
+          (Instance.permitted inst v))
+    (Instance.nodes inst);
+  Format.printf "  dispute wheel: %b; solutions: %d@." (Dispute.has_wheel inst)
+    (Solver.count_solutions inst);
+  (* Exhaustive verdicts need a channel bound; on these denser instances a
+     fair round-robin run is the cheaper evidence. *)
+  let m = model "R1O" in
+  let r = Engine.Executor.run ~validate:m inst (Engine.Scheduler.round_robin inst m) in
+  Format.printf "  round-robin R1O run: %a@.@." Engine.Executor.pp_stop r.Engine.Executor.stop
+
+let () =
+  show "shortest paths (labels = costs)" (Algebra.compile Algebra.shortest_paths graph);
+  show "widest paths (labels = capacities)" (Algebra.compile Algebra.widest_paths graph);
+  show "widest-then-shortest (lexicographic product)"
+    (Algebra.compile
+       (Algebra.lex ~name:"widest-shortest" Algebra.widest_paths Algebra.shortest_paths)
+       graph);
+  (* The algebraic Gao-Rexford rendering agrees with the direct policy
+     compiler on generated hierarchies (property-tested in the suite). *)
+  Format.printf
+    "The Gao-Rexford guidelines are also expressible as an algebra;@.\
+     Algebra.gao_rexford compiles to exactly the instances Bgp.Policy does.@."

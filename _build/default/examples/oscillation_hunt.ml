@@ -1,0 +1,45 @@
+(* Oscillation hunt: sweep the paper's gadgets across communication models
+   with the bounded model checker, verify every oscillation witness by
+   replaying it through the executor, and print the verdict matrix.
+
+     dune exec examples/oscillation_hunt.exe
+
+   Reproduces the separations of Thms. 3.8/3.9 semantically: DISAGREE
+   (Ex. A.1) oscillates in R1O-like models but not in REO/REF/polling
+   models; BAD GADGET oscillates everywhere; GOOD GADGET nowhere. *)
+
+open Commrouting
+open Engine
+
+let models = List.map Model.to_string Model.all
+
+let sweep name inst ~only =
+  Format.printf "== %s ==@." name;
+  List.iter
+    (fun mname ->
+      if List.mem mname only then begin
+        let m = Option.get (Model.of_string mname) in
+        match Modelcheck.Oscillation.analyze inst m with
+        | Modelcheck.Oscillation.Oscillates w as v ->
+          let replay = Modelcheck.Oscillation.verify_witness inst m w in
+          Format.printf "  %-4s %a — replay %s@." mname Modelcheck.Oscillation.pp_verdict v
+            (if replay then "verified" else "FAILED")
+        | v -> Format.printf "  %-4s %a@." mname Modelcheck.Oscillation.pp_verdict v
+      end)
+    models;
+  Format.printf "@."
+
+let () =
+  sweep "DISAGREE (Fig. 5 / Ex. A.1)" Spp.Gadgets.disagree ~only:models;
+  sweep "GOOD GADGET (unique solution, no dispute wheel)" Spp.Gadgets.good_gadget
+    ~only:[ "R1O"; "RMO"; "R1S"; "RMS"; "REA"; "U1O"; "UMS" ];
+  sweep "BAD GADGET (no stable solution)" Spp.Gadgets.bad_gadget
+    ~only:[ "R1O"; "REO"; "REA"; "U1A" ];
+  (* FIG6 is Ex. A.2's separator: polling models cannot oscillate (REA shown
+     here; R1A and RMA also verify but take tens of seconds — see
+     EXPERIMENTS.md), while REO/REF have the 2-message-delay oscillation,
+     demonstrated by the scripted replay in the test suite. *)
+  sweep "FIG6 (Ex. A.2)" Spp.Gadgets.fig6 ~only:[ "REA" ];
+  Format.printf "Note: witnesses are (prefix, cycle) schedules; replaying the cycle@.";
+  Format.printf "forever is a fair activation sequence whose path assignments never@.";
+  Format.printf "stabilize (Defs. 2.4-2.5).@."

@@ -1,0 +1,49 @@
+(* A tour of the taxonomy (Sec. 2.2-2.3) and the derived realization
+   matrices (Figures 3-4).
+
+     dune exec examples/taxonomy_tour.exe *)
+
+open Commrouting
+open Engine
+open Realization
+
+let () =
+  Format.printf "== The 24 communication models ==@.";
+  List.iter
+    (fun m ->
+      let families =
+        List.filter_map Fun.id
+          [
+            (if Model.is_polling m then Some "polling" else None);
+            (if Model.is_message_passing m then Some "message-passing" else None);
+            (if Model.is_queueing m then Some "queueing" else None);
+          ]
+      in
+      Format.printf "  %s%s@." (Model.to_string m)
+        (match families with [] -> "" | fs -> "  (" ^ String.concat ", " fs ^ ")"))
+    Model.all;
+
+  Format.printf "@.== Syntactic inclusions (Prop. 3.3's observation) ==@.";
+  let count =
+    List.length
+      (List.concat_map
+         (fun a ->
+           List.filter (fun b -> (not (Model.equal a b)) && Model.includes a b) Model.all)
+         Model.all)
+  in
+  Format.printf "  %d strict inclusions; e.g. UMS includes %d of the other 23 models@."
+    count
+    (List.length
+       (List.filter
+          (fun b ->
+            (not (Model.equal (Option.get (Model.of_string "UMS")) b))
+            && Model.includes (Option.get (Model.of_string "UMS")) b)
+          Model.all));
+
+  Format.printf "@.== Derived realization matrices ==@.";
+  let closure = Closure.derive () in
+  Format.printf "Figure 3 (reliable realizers):@.%s@."
+    (Closure.render closure ~realizers:Model.reliable);
+  Format.printf "Figure 4 (unreliable realizers):@.%s@."
+    (Closure.render closure ~realizers:Model.unreliable);
+  Format.printf "%s@." (Paper_tables.summary closure)

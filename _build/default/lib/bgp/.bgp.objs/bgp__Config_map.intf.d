@@ -1,0 +1,1 @@
+lib/bgp/config_map.mli: Engine

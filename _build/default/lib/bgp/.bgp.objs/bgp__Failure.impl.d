@@ -1,0 +1,1 @@
+lib/bgp/failure.ml: Assignment Engine Executor Instance List Path Policy Scheduler Spp State Step Surgery Topology Trace

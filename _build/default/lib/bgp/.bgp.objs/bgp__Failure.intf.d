@@ -1,0 +1,1 @@
+lib/bgp/failure.mli: Engine Spp Topology

@@ -1,0 +1,1 @@
+lib/bgp/policy.ml: Fun Instance List Path Spp Topology

@@ -1,0 +1,1 @@
+lib/bgp/simulate.ml: Engine Executor List Model Policy Scheduler Spp State Step Trace

@@ -1,0 +1,1 @@
+lib/bgp/simulate.mli: Engine Spp Topology

@@ -1,0 +1,1 @@
+lib/bgp/topology.ml: Array Fmt Fun List Printf Random

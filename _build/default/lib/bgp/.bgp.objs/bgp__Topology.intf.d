@@ -1,0 +1,1 @@
+lib/bgp/topology.mli: Format Spp

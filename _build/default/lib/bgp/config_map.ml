@@ -1,0 +1,48 @@
+open Engine
+
+type transport = Tcp | Unreliable_transport
+
+type processing = Event_driven | Queue_drain | Route_refresh_poll
+
+type neighbors_per_event = Single_session | Some_sessions | All_sessions
+
+type t = {
+  transport : transport;
+  processing : processing;
+  sessions : neighbors_per_event;
+}
+
+let model_of cfg =
+  let rel =
+    match cfg.transport with Tcp -> Model.Reliable | Unreliable_transport -> Model.Unreliable
+  in
+  let nbr =
+    match cfg.sessions with
+    | Single_session -> Model.N_one
+    | Some_sessions -> Model.N_multi
+    | All_sessions -> Model.N_every
+  in
+  let msg =
+    match cfg.processing with
+    | Event_driven -> Model.M_one
+    | Queue_drain -> Model.M_some
+    | Route_refresh_poll -> Model.M_all
+  in
+  Model.make rel nbr msg
+
+let describe cfg = Model.to_string (model_of cfg)
+
+let presets =
+  [
+    ( "classic event-driven BGP",
+      { transport = Tcp; processing = Event_driven; sessions = Single_session } );
+    ( "BGP-4 specification queueing",
+      { transport = Tcp; processing = Queue_drain; sessions = Some_sessions } );
+    ( "route-refresh polling",
+      { transport = Tcp; processing = Route_refresh_poll; sessions = All_sessions } );
+    ( "datagram path-vector (ad-hoc networks)",
+      { transport = Unreliable_transport; processing = Queue_drain; sessions = Some_sessions }
+    );
+    ( "per-session timer batching",
+      { transport = Tcp; processing = Queue_drain; sessions = Single_session } );
+  ]

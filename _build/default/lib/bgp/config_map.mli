@@ -1,0 +1,37 @@
+(** Mapping of real BGP deployment options onto the paper's taxonomy
+    (Sec. 2.3 and Sec. 4).
+
+    - Running over TCP gives reliable channels; over an unreliable
+      transport (as in some BGP-like protocols for ad-hoc networks),
+      unreliable ones.
+    - Event-driven processing of one UPDATE at a time is the
+      message-passing model w1O; draining the session queue at each timer
+      tick is the queueing model wMS (the paper argues this best matches
+      the BGP-4 specification's flexibility).
+    - The Route Refresh capability (RFC 2918) used for on-demand polling
+      of neighbors' current choices yields the polling models w?A. *)
+
+type transport = Tcp | Unreliable_transport
+
+type processing =
+  | Event_driven  (** react to one incoming UPDATE at a time *)
+  | Queue_drain  (** process whatever accumulated, possibly partially *)
+  | Route_refresh_poll  (** poll neighbors' current state on demand *)
+
+type neighbors_per_event =
+  | Single_session  (** one neighbor's session per processing event *)
+  | Some_sessions  (** whichever sessions have pending work *)
+  | All_sessions  (** all sessions in one pass *)
+
+type t = {
+  transport : transport;
+  processing : processing;
+  sessions : neighbors_per_event;
+}
+
+val model_of : t -> Engine.Model.t
+val describe : t -> string
+val presets : (string * t) list
+(** Named configurations: classic event-driven BGP (R1O), specification
+    queueing BGP (RMS), route-refresh polling (REA), datagram BGP (UMS),
+    and others. *)

@@ -1,0 +1,42 @@
+(** Topology events: link failure and re-convergence.
+
+    When a BGP session dies, both endpoints immediately discard the routes
+    learned over it and the network must re-converge from its current
+    state — not from scratch.  This module performs the corresponding state
+    surgery (drop the dead channels and the knowledge they carried, keep
+    everything else, stale routes included) and measures re-convergence
+    under a communication model. *)
+
+type event = {
+  instance : Spp.Instance.t;  (** the network after the failure *)
+  state : Engine.State.t;  (** the surgically adjusted starting state *)
+}
+
+val sever :
+  Topology.t ->
+  dest:Spp.Path.node ->
+  state:Engine.State.t ->
+  link:Spp.Path.node * Spp.Path.node ->
+  Topology.t * event
+(** Removes the (existing) link and maps the given state onto the new
+    compiled instance.  Raises [Invalid_argument] if the link does not
+    exist. *)
+
+type reconvergence = {
+  converged : bool;
+  steps : int;
+  messages : int;
+  rerouted : int;  (** nodes whose final route differs from before the event *)
+  lost : int;  (** nodes that end with no route *)
+  assignment : Spp.Assignment.t;
+}
+
+val reconverge :
+  ?max_steps:int ->
+  event ->
+  before:Spp.Assignment.t ->
+  model:Engine.Model.t ->
+  reconvergence
+(** Runs the fair round-robin schedule of the model from the event state
+    (with Gao–Rexford export semantics applied by the compiled instance's
+    permitted sets). *)

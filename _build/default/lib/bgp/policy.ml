@@ -1,0 +1,84 @@
+open Spp
+
+type route_class = Customer_route | Peer_route | Provider_route | Origin
+
+let route_class topo v p =
+  match Path.to_nodes p with
+  | [] -> None
+  | [ v' ] -> if v = v' then Some Origin else None
+  | v' :: next :: _ ->
+    if v <> v' then None
+    else
+      (match Topology.relationship topo ~of_:v next with
+      | Some Topology.Customer -> Some Customer_route
+      | Some Topology.Peer -> Some Peer_route
+      | Some Topology.Provider -> Some Provider_route
+      | None -> None)
+
+let exports topo v p ~to_ =
+  match route_class topo v p with
+  | None -> false
+  | Some Origin | Some Customer_route -> true
+  | Some (Peer_route | Provider_route) ->
+    (* only to customers *)
+    Topology.relationship topo ~of_:v to_ = Some Topology.Customer
+
+(* A path [v; ...; dest] is usable iff every node along it would export its
+   suffix to its predecessor. *)
+let usable topo p =
+  let rec check = function
+    | pred :: (next :: _ as suffix_nodes) ->
+      let suffix = Path.of_nodes suffix_nodes in
+      exports topo next suffix ~to_:pred && check suffix_nodes
+    | [ _ ] | [] -> true
+  in
+  check (Path.to_nodes p)
+
+let class_rank = function
+  | Origin -> -1
+  | Customer_route -> 0
+  | Peer_route -> 1
+  | Provider_route -> 2
+
+let gr_permitted topo ~dest v =
+  if v = dest then [ Path.of_nodes [ dest ] ]
+  else begin
+    let acc = ref [] in
+    let rec explore rev_path u =
+      if u = dest then begin
+        let p = Path.of_nodes (List.rev rev_path) in
+        if usable topo p then acc := p :: !acc
+      end
+      else
+        List.iter
+          (fun w -> if not (List.mem w rev_path) then explore (w :: rev_path) w)
+          (Topology.neighbors topo u)
+    in
+    explore [ v ] v;
+    List.sort
+      (fun p q ->
+        let key p =
+          let c = match route_class topo v p with Some c -> class_rank c | None -> 9 in
+          (c, Path.length p, Path.to_nodes p)
+        in
+        compare (key p) (key q))
+      !acc
+  end
+
+let compile topo ~dest =
+  let n = Topology.size topo in
+  let edges =
+    List.filter_map
+      (fun (a, b, _) -> if a < b then Some (a, b) else Some (b, a))
+      (Topology.edges topo)
+  in
+  let permitted =
+    List.filter_map
+      (fun v ->
+        if v = dest then None
+        else Some (v, List.map Path.to_nodes (gr_permitted topo ~dest v)))
+      (List.init n Fun.id)
+  in
+  Instance.make ~names:(Topology.names topo) ~dest ~edges ~permitted
+
+let export_policy topo ~src ~dst p = exports topo src p ~to_:dst

@@ -1,0 +1,34 @@
+(** Gao–Rexford routing policies and their compilation to SPP instances.
+
+    Preference: customer routes over peer routes over provider routes,
+    shorter AS paths first within a class.  Export: routes learned from a
+    customer (and the origin's own prefix) go to everyone; routes learned
+    from a peer or provider go to customers only.  These guidelines
+    guarantee convergence without global coordination (Gao & Rexford 2001),
+    which this library demonstrates by compiling them into dispute-wheel-free
+    SPP instances. *)
+
+type route_class = Customer_route | Peer_route | Provider_route | Origin
+
+val route_class : Topology.t -> Spp.Path.node -> Spp.Path.t -> route_class option
+(** Class of a route at a node, from the relationship with its next hop;
+    [Origin] for the destination's trivial route; [None] for epsilon or a
+    first hop that is not a neighbor. *)
+
+val exports : Topology.t -> Spp.Path.node -> Spp.Path.t -> to_:Spp.Path.node -> bool
+(** Whether the node announces the given route to that neighbor under
+    Gao–Rexford export rules. *)
+
+val gr_permitted : Topology.t -> dest:Spp.Path.node -> Spp.Path.node -> Spp.Path.t list
+(** All simple paths from the node to [dest] that every hop along the way
+    would export (equivalently, the valley-free paths), sorted by
+    Gao–Rexford preference. *)
+
+val compile : Topology.t -> dest:Spp.Path.node -> Spp.Instance.t
+(** The SPP instance induced by the topology, the destination prefix, and
+    Gao–Rexford policies. *)
+
+val export_policy : Topology.t -> Engine.Step.export
+(** The engine export hook implementing the export rules at announcement
+    time (compile-time permitted sets already encode the same restriction;
+    using both matches the operational BGP behavior and reduces traffic). *)

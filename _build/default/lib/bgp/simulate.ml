@@ -1,0 +1,34 @@
+open Engine
+
+type result = {
+  converged : bool;
+  steps : int;
+  messages : int;
+  assignment : Spp.Assignment.t;
+}
+
+let run ?(max_steps = 50_000) ?(use_export_policy = true) topo ~dest ~model ~scheduler =
+  let inst = Policy.compile topo ~dest in
+  let export =
+    if use_export_policy then Policy.export_policy topo else Step.export_all
+  in
+  let r = Executor.run ~export ~validate:model ~max_steps inst (scheduler inst model) in
+  let trace = r.Executor.trace in
+  let messages =
+    List.fold_left
+      (fun acc (s : Trace.step) -> acc + List.length s.Trace.outcome.Step.pushed)
+      0 (Trace.steps trace)
+  in
+  {
+    converged = r.Executor.stop = Executor.Quiescent;
+    steps = Trace.length trace;
+    messages;
+    assignment = State.assignment inst (Trace.final trace);
+  }
+
+let converges_in_all_models ?max_steps topo ~dest =
+  List.for_all
+    (fun model ->
+      let r = run ?max_steps topo ~dest ~model ~scheduler:Scheduler.round_robin in
+      r.converged)
+    Model.all

@@ -1,0 +1,24 @@
+(** End-to-end BGP convergence simulation on the execution engine. *)
+
+type result = {
+  converged : bool;
+  steps : int;  (** activation steps until quiescence (or the step limit) *)
+  messages : int;  (** total route announcements written to channels *)
+  assignment : Spp.Assignment.t;
+}
+
+val run :
+  ?max_steps:int ->
+  ?use_export_policy:bool ->
+  Topology.t ->
+  dest:Spp.Path.node ->
+  model:Engine.Model.t ->
+  scheduler:(Spp.Instance.t -> Engine.Model.t -> Engine.Scheduler.t) ->
+  result
+(** Compiles the topology under Gao–Rexford policies and runs the routing
+    algorithm.  [use_export_policy] (default true) applies the export rules
+    at announcement time as real BGP does. *)
+
+val converges_in_all_models :
+  ?max_steps:int -> Topology.t -> dest:Spp.Path.node -> bool
+(** Round-robin convergence in each of the 24 models. *)

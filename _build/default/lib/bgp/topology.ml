@@ -1,0 +1,127 @@
+type kind = Provider_customer | Peer_peer
+type relationship = Customer | Peer | Provider
+
+type t = {
+  size : int;
+  names : string array;
+  links : (int * int * kind) list;
+  rel : relationship option array array; (* rel.(u).(v): how u sees v *)
+}
+
+let size t = t.size
+let names t = t.names
+let name t v = t.names.(v)
+let edges t = t.links
+
+let relationship t ~of_ v = t.rel.(of_).(v)
+
+let neighbors t v =
+  List.filter (fun u -> u <> v && t.rel.(v).(u) <> None) (List.init t.size Fun.id)
+
+(* Provider-customer links must form a DAG. *)
+let check_acyclic size links =
+  let down = Array.make size [] in
+  List.iter
+    (fun (p, c, k) -> if k = Provider_customer then down.(p) <- c :: down.(p))
+    links;
+  let color = Array.make size 0 in
+  let rec visit v =
+    if color.(v) = 1 then invalid_arg "Topology: provider-customer cycle";
+    if color.(v) = 0 then begin
+      color.(v) <- 1;
+      List.iter visit down.(v);
+      color.(v) <- 2
+    end
+  in
+  for v = 0 to size - 1 do
+    visit v
+  done
+
+let make ~names ~links =
+  let size = Array.length names in
+  let check v = if v < 0 || v >= size then invalid_arg "Topology: node out of range" in
+  let rel = Array.make_matrix size size None in
+  List.iter
+    (fun (a, b, k) ->
+      check a;
+      check b;
+      if a = b then invalid_arg "Topology: self-link";
+      if rel.(a).(b) <> None then invalid_arg "Topology: duplicate link";
+      match k with
+      | Provider_customer ->
+        rel.(a).(b) <- Some Customer;
+        (* a sees b as its customer *)
+        rel.(b).(a) <- Some Provider
+      | Peer_peer ->
+        rel.(a).(b) <- Some Peer;
+        rel.(b).(a) <- Some Peer)
+    links;
+  check_acyclic size links;
+  { size; names; links; rel }
+
+type config = { tier1 : int; tier2 : int; stubs : int; seed : int }
+
+let default_config = { tier1 = 2; tier2 = 3; stubs = 4; seed = 7 }
+
+let generate cfg =
+  if cfg.tier1 < 1 || cfg.tier2 < 1 || cfg.stubs < 1 then
+    invalid_arg "Topology.generate: each tier needs at least one AS";
+  let rng = Random.State.make [| cfg.seed; 0xbb9 |] in
+  let n = cfg.tier1 + cfg.tier2 + cfg.stubs in
+  let names =
+    Array.init n (fun i ->
+        if i < cfg.tier1 then Printf.sprintf "T%d" (i + 1)
+        else if i < cfg.tier1 + cfg.tier2 then Printf.sprintf "M%d" (i - cfg.tier1 + 1)
+        else Printf.sprintf "S%d" (i - cfg.tier1 - cfg.tier2 + 1))
+  in
+  let links = ref [] in
+  (* Tier-1 full mesh of peering. *)
+  for a = 0 to cfg.tier1 - 1 do
+    for b = a + 1 to cfg.tier1 - 1 do
+      links := (a, b, Peer_peer) :: !links
+    done
+  done;
+  (* Each mid-tier AS buys transit from 1-2 tier-1s; occasional peering
+     between mid-tier ASes. *)
+  let mids = List.init cfg.tier2 (fun i -> cfg.tier1 + i) in
+  List.iter
+    (fun m ->
+      let p1 = Random.State.int rng cfg.tier1 in
+      links := (p1, m, Provider_customer) :: !links;
+      if cfg.tier1 > 1 && Random.State.bool rng then begin
+        let p2 = (p1 + 1 + Random.State.int rng (cfg.tier1 - 1)) mod cfg.tier1 in
+        links := (p2, m, Provider_customer) :: !links
+      end)
+    mids;
+  List.iteri
+    (fun i m ->
+      List.iteri
+        (fun j m' ->
+          if j > i && Random.State.int rng 3 = 0 then
+            links := (m, m', Peer_peer) :: !links)
+        mids)
+    mids;
+  (* Stubs are customers of 1-2 mid-tier (or occasionally tier-1) ASes. *)
+  for s = cfg.tier1 + cfg.tier2 to n - 1 do
+    let pick () =
+      if Random.State.int rng 5 = 0 then Random.State.int rng cfg.tier1
+      else cfg.tier1 + Random.State.int rng cfg.tier2
+    in
+    let p1 = pick () in
+    links := (p1, s, Provider_customer) :: !links;
+    if Random.State.bool rng then begin
+      let p2 = pick () in
+      if p2 <> p1 then links := (p2, s, Provider_customer) :: !links
+    end
+  done;
+  make ~names ~links:!links
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>AS topology (%d ASes)@," t.size;
+  List.iter
+    (fun (a, b, k) ->
+      match k with
+      | Provider_customer -> Fmt.pf ppf "  %s -> %s (provider-customer)@," t.names.(a) t.names.(b)
+      | Peer_peer -> Fmt.pf ppf "  %s -- %s (peering)@," t.names.(a) t.names.(b))
+    t.links;
+  Fmt.pf ppf "@]"

@@ -1,0 +1,44 @@
+(** AS-level topologies with business relationships.
+
+    Edges are either provider–customer (directed: money flows up) or
+    peer–peer.  The provider–customer relation must be acyclic, as on the
+    real Internet. *)
+
+type kind = Provider_customer | Peer_peer
+
+type t
+
+val make :
+  names:string array ->
+  links:(Spp.Path.node * Spp.Path.node * kind) list ->
+  t
+(** In a [Provider_customer] link the first node is the provider.  Raises
+    [Invalid_argument] on duplicate links, self-links, or a cycle in the
+    provider–customer hierarchy. *)
+
+val size : t -> int
+val names : t -> string array
+val name : t -> Spp.Path.node -> string
+val neighbors : t -> Spp.Path.node -> Spp.Path.node list
+
+type relationship = Customer | Peer | Provider
+
+val relationship : t -> of_:Spp.Path.node -> Spp.Path.node -> relationship option
+(** [relationship t ~of_:u v]: how [u] sees [v] ([Customer] means [v] is a
+    customer of [u]); [None] if not adjacent. *)
+
+val edges : t -> (Spp.Path.node * Spp.Path.node * kind) list
+
+type config = {
+  tier1 : int;  (** fully peered core ASes *)
+  tier2 : int;  (** mid-tier: customers of tier 1, some mutual peering *)
+  stubs : int;  (** customers of tier 2 (or tier 1) *)
+  seed : int;
+}
+
+val default_config : config
+
+val generate : config -> t
+(** A random three-tier hierarchy, deterministic in [seed]. *)
+
+val pp : Format.formatter -> t -> unit

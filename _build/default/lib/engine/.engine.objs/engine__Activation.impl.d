@@ -1,0 +1,1 @@
+lib/engine/activation.ml: Channel Fmt Int List Set Spp

@@ -1,0 +1,1 @@
+lib/engine/activation.mli: Channel Format Set Spp

@@ -1,0 +1,1 @@
+lib/engine/executor.mli: Activation Format Model Scheduler Spp State Step Trace

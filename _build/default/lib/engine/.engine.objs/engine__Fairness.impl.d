@@ -1,0 +1,1 @@
+lib/engine/fairness.ml: Activation Channel Hashtbl Instance List Option Spp

@@ -1,0 +1,1 @@
+lib/engine/fairness.mli: Activation Channel Spp

@@ -1,0 +1,1 @@
+lib/engine/hetero.ml: Activation Array Channel Instance List Model Printf Scheduler Seq Spp String

@@ -1,0 +1,1 @@
+lib/engine/hetero.mli: Activation Model Scheduler Spp

@@ -1,0 +1,1 @@
+lib/engine/model.ml: Activation Channel Fmt List Spp String

@@ -1,0 +1,1 @@
+lib/engine/model.mli: Activation Channel Format Spp

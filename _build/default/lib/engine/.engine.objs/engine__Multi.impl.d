@@ -1,0 +1,1 @@
+lib/engine/multi.ml: Activation Fmt Instance List Model Scheduler Seq Spp

@@ -1,0 +1,1 @@
+lib/engine/multi.mli: Activation Model Scheduler Spp

@@ -1,0 +1,1 @@
+lib/engine/replay.ml: Activation Channel In_channel Instance List Out_channel Printf Result Spp String

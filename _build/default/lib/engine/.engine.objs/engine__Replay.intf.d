@@ -1,0 +1,1 @@
+lib/engine/replay.mli: Activation Spp

@@ -1,0 +1,1 @@
+lib/engine/scheduler.ml: Activation Array Channel Fmt Instance List Model Random Seq Spp

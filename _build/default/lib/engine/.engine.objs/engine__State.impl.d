@@ -1,0 +1,1 @@
+lib/engine/state.ml: Assignment Channel Fmt Hashtbl Instance Int List Map Path Spp

@@ -1,0 +1,1 @@
+lib/engine/state.mli: Channel Format Spp

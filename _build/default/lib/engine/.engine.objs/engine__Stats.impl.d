@@ -1,0 +1,1 @@
+lib/engine/stats.ml: Executor Fmt List Spp State Step Trace

@@ -1,0 +1,1 @@
+lib/engine/step.ml: Activation Channel Fmt Instance List Path Spp State

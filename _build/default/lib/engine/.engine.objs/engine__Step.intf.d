@@ -1,0 +1,1 @@
+lib/engine/step.mli: Activation Channel Spp State

@@ -1,0 +1,1 @@
+lib/engine/surgery.ml: Channel Instance List Spp State

@@ -1,0 +1,1 @@
+lib/engine/surgery.mli: Spp State

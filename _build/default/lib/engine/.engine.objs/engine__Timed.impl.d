@@ -1,0 +1,1 @@
+lib/engine/timed.ml: Activation Assignment Channel Instance List Model Path Set Spp State Step

@@ -1,0 +1,1 @@
+lib/engine/timed.mli: Channel Spp

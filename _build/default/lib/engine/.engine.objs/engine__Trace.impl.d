@@ -1,0 +1,1 @@
+lib/engine/trace.ml: Activation Fmt Instance List Path Printf Spp State Step String

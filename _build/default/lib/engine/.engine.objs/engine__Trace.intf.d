@@ -1,0 +1,1 @@
+lib/engine/trace.mli: Activation Format Spp State Step

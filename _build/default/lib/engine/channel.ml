@@ -1,0 +1,39 @@
+type id = { src : Spp.Path.node; dst : Spp.Path.node }
+
+let id ~src ~dst = { src; dst }
+let reverse c = { src = c.dst; dst = c.src }
+let compare_id (a : id) b = compare a b
+let equal_id (a : id) b = a = b
+
+let pp_id inst ppf c =
+  Fmt.pf ppf "(%s,%s)" (Spp.Instance.name inst c.src) (Spp.Instance.name inst c.dst)
+
+module Map = Map.Make (struct
+  type t = id
+
+  let compare = compare_id
+end)
+
+type contents = Spp.Path.t list
+type t = contents Map.t
+
+let empty = Map.empty
+let get t c = match Map.find_opt c t with Some l -> l | None -> []
+let length t c = List.length (get t c)
+
+let push t c msg =
+  Map.update c (function None -> Some [ msg ] | Some l -> Some (l @ [ msg ])) t
+
+let drop_first t c i =
+  if i <= 0 then t
+  else
+    let rec drop n = function
+      | l when n = 0 -> l
+      | [] -> []
+      | _ :: rest -> drop (n - 1) rest
+    in
+    match drop i (get t c) with [] -> Map.remove c t | l -> Map.add c l t
+
+let total_messages t = Map.fold (fun _ l acc -> acc + List.length l) t 0
+let max_occupancy t = Map.fold (fun _ l acc -> max acc (List.length l)) t 0
+let bindings = Map.bindings

@@ -1,0 +1,39 @@
+(** Directed FIFO communication channels.
+
+    For each undirected edge {u, v} of an instance there are two channels
+    (u, v) and (v, u); a channel's contents is the FIFO queue of route
+    announcements written by its source and not yet processed by its
+    destination (Sec. 2.1). *)
+
+type id = { src : Spp.Path.node; dst : Spp.Path.node }
+
+val id : src:Spp.Path.node -> dst:Spp.Path.node -> id
+val reverse : id -> id
+val compare_id : id -> id -> int
+val equal_id : id -> id -> bool
+val pp_id : Spp.Instance.t -> Format.formatter -> id -> unit
+
+module Map : Map.S with type key = id
+
+type contents = Spp.Path.t list
+(** Oldest message first.  Messages are the sender's chosen path;
+    {!Spp.Path.epsilon} is a withdrawal. *)
+
+type t = contents Map.t
+(** Channel states of a whole network; absent keys are empty channels, and
+    the map never stores empty lists, so structural equality of maps is
+    semantic equality of channel states. *)
+
+val empty : t
+val get : t -> id -> contents
+val length : t -> id -> int
+val push : t -> id -> Spp.Path.t -> t
+(** Appends at the back of the queue. *)
+
+val drop_first : t -> id -> int -> t
+(** [drop_first t c i] removes the [i] oldest messages (at most the current
+    length). *)
+
+val total_messages : t -> int
+val max_occupancy : t -> int
+val bindings : t -> (id * contents) list

@@ -1,0 +1,69 @@
+type stop = Quiescent | Cycle of { first : int; period : int } | Exhausted
+
+let pp_stop ppf = function
+  | Quiescent -> Fmt.string ppf "quiescent"
+  | Cycle { first; period } -> Fmt.pf ppf "cycle (first seen at step %d, period %d)" first period
+  | Exhausted -> Fmt.string ppf "exhausted"
+
+type run = { trace : Trace.t; stop : stop }
+
+let check_model inst model entry =
+  match model with
+  | None -> ()
+  | Some m ->
+    if not (Model.validates inst m entry) then
+      invalid_arg
+        (Fmt.str "Executor: entry %a violates model %a" (Activation.pp inst) entry
+           Model.pp m)
+
+let run_from ?export ?validate ?(max_steps = 10_000) ~state inst (sched : Scheduler.t) =
+  let init = state in
+  (* Cycle detection: remember states per schedule phase. *)
+  let seen : (int * State.t, int) Hashtbl.t = Hashtbl.create 97 in
+  let rec loop acc index state entries =
+    if index > max_steps then ({ trace = Trace.make inst init (List.rev acc); stop = Exhausted })
+    else
+      match Seq.uncons entries with
+      | None -> { trace = Trace.make inst init (List.rev acc); stop = Exhausted }
+      | Some (entry, rest) ->
+        check_model inst validate entry;
+        let outcome = Step.apply ?export inst state entry in
+        let record = { Trace.index; entry; outcome } in
+        let acc = record :: acc in
+        let state' = outcome.Step.state in
+        let trace () = Trace.make inst init (List.rev acc) in
+        if State.is_quiescent inst state' then { trace = trace (); stop = Quiescent }
+        else begin
+          match sched.Scheduler.period with
+          | Some p when p > 0 -> (
+            let key = (index mod p, state') in
+            match Hashtbl.find_opt seen key with
+            | Some first ->
+              { trace = trace (); stop = Cycle { first; period = index - first } }
+            | None ->
+              Hashtbl.add seen key index;
+              loop acc (index + 1) state' rest)
+          | _ -> loop acc (index + 1) state' rest
+        end
+  in
+  loop [] 1 init sched.Scheduler.entries
+
+let run ?export ?validate ?max_steps inst sched =
+  run_from ?export ?validate ?max_steps ~state:(State.initial inst) inst sched
+
+let run_entries ?export ?validate inst entries =
+  let init = State.initial inst in
+  let _, steps =
+    List.fold_left
+      (fun (state, acc) entry ->
+        check_model inst validate entry;
+        let outcome = Step.apply ?export inst state entry in
+        (outcome.Step.state, { Trace.index = List.length acc + 1; entry; outcome } :: acc))
+      (init, []) entries
+  in
+  Trace.make inst init (List.rev steps)
+
+let converges ?export ?max_steps inst sched =
+  match (run ?export ?max_steps inst sched).stop with
+  | Quiescent -> true
+  | Cycle _ | Exhausted -> false

@@ -1,0 +1,50 @@
+(** Running activation sequences against an instance. *)
+
+type stop =
+  | Quiescent
+      (** all channels empty and every node's choice equals its announced
+          route: the execution has converged (Def. 2.5) *)
+  | Cycle of { first : int; period : int }
+      (** the full network state repeated at the same schedule phase: under
+          a cyclic schedule the execution provably oscillates forever *)
+  | Exhausted  (** ran out of entries or reached [max_steps] *)
+
+val pp_stop : Format.formatter -> stop -> unit
+
+type run = { trace : Trace.t; stop : stop }
+
+val run :
+  ?export:Step.export ->
+  ?validate:Model.t ->
+  ?max_steps:int ->
+  Spp.Instance.t ->
+  Scheduler.t ->
+  run
+(** Applies the scheduler's entries until quiescence, a state/phase cycle
+    (only detected when the scheduler declares a period), exhaustion of the
+    sequence, or [max_steps] (default 10_000).  With [validate], every entry
+    is checked against the model first and [Invalid_argument] is raised on a
+    violation. *)
+
+val run_from :
+  ?export:Step.export ->
+  ?validate:Model.t ->
+  ?max_steps:int ->
+  state:State.t ->
+  Spp.Instance.t ->
+  Scheduler.t ->
+  run
+(** Like {!run} but starting from an arbitrary state (e.g. a converged
+    network after a topology or policy event). *)
+
+val run_entries :
+  ?export:Step.export ->
+  ?validate:Model.t ->
+  Spp.Instance.t ->
+  Activation.t list ->
+  Trace.t
+(** Runs a finite scripted sequence to its end (no early stop). *)
+
+val converges :
+  ?export:Step.export -> ?max_steps:int -> Spp.Instance.t -> Scheduler.t -> bool
+(** True iff {!run} stops with {!Quiescent}. *)

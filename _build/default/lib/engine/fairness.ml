@@ -1,0 +1,77 @@
+open Spp
+
+type report = {
+  unread_channels : Channel.id list;
+  max_gap : (Channel.id * int) list;
+  unresolved_drops : Channel.id list;
+}
+
+let tracked inst =
+  List.filter_map
+    (fun (src, dst) ->
+      if dst = Instance.dest inst then None else Some (Channel.id ~src ~dst))
+    (Instance.channels inst)
+
+let reads_of (entry : Activation.t) = entry.Activation.reads
+
+let analyze inst entries =
+  let chans = tracked inst in
+  let last_read = Hashtbl.create 17 and gaps = Hashtbl.create 17 in
+  let read_counts = Hashtbl.create 17 in
+  let pending_drop = Hashtbl.create 17 in
+  List.iteri
+    (fun i entry ->
+      List.iter
+        (fun (r : Activation.read) ->
+          let c = r.Activation.chan in
+          let prev = match Hashtbl.find_opt last_read c with Some p -> p | None -> -1 in
+          let gap = i - prev in
+          let old = match Hashtbl.find_opt gaps c with Some g -> g | None -> 0 in
+          if gap > old then Hashtbl.replace gaps c gap;
+          Hashtbl.replace last_read c i;
+          Hashtbl.replace read_counts c
+            (1 + Option.value ~default:0 (Hashtbl.find_opt read_counts c));
+          if not (Activation.IntSet.is_empty r.Activation.drops) then
+            Hashtbl.replace pending_drop c true
+          else if r.Activation.count <> Activation.Finite 0 then
+            Hashtbl.replace pending_drop c false)
+        (reads_of entry))
+    entries;
+  let n = List.length entries in
+  {
+    unread_channels = List.filter (fun c -> not (Hashtbl.mem last_read c)) chans;
+    max_gap =
+      List.map
+        (fun c ->
+          let g = match Hashtbl.find_opt gaps c with Some g -> g | None -> n in
+          let tail =
+            n - (match Hashtbl.find_opt last_read c with Some p -> p | None -> -1)
+          in
+          (c, max g tail))
+        chans;
+    unresolved_drops =
+      List.filter
+        (fun c -> Hashtbl.find_opt pending_drop c = Some true)
+        chans;
+  }
+
+let cycle_is_fair inst entries =
+  let r = analyze inst entries in
+  r.unread_channels = []
+  &&
+  (* Within one cycle, every channel that drops must also have a dropless
+     positive read (so that, cyclically, drops are always followed by
+     non-dropped messages being processed). *)
+  let dropping = Hashtbl.create 7 and clean = Hashtbl.create 7 in
+  List.iter
+    (fun entry ->
+      List.iter
+        (fun (rd : Activation.read) ->
+          let c = rd.Activation.chan in
+          if not (Activation.IntSet.is_empty rd.Activation.drops) then
+            Hashtbl.replace dropping c true
+          else if rd.Activation.count <> Activation.Finite 0 then
+            Hashtbl.replace clean c true)
+        (reads_of entry))
+    entries;
+  Hashtbl.fold (fun c _ ok -> ok && Hashtbl.mem clean c) dropping true

@@ -1,0 +1,19 @@
+(** Finite-prefix bookkeeping for the fairness condition (Def. 2.4). *)
+
+type report = {
+  unread_channels : Channel.id list;
+      (** tracked channels never read in the prefix *)
+  max_gap : (Channel.id * int) list;
+      (** per channel, the longest stretch of steps without a read *)
+  unresolved_drops : Channel.id list;
+      (** channels whose last read containing a drop was not followed by a
+          dropless read *)
+}
+
+val analyze : Spp.Instance.t -> Activation.t list -> report
+
+val cycle_is_fair : Spp.Instance.t -> Activation.t list -> bool
+(** Whether repeating the given entries forever yields a fair activation
+    sequence: every tracked channel is read at least once per cycle, and any
+    channel with a dropped read also has a dropless read with a positive
+    message count in the cycle. *)

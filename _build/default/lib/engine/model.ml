@@ -1,0 +1,155 @@
+type reliability = Reliable | Unreliable
+type neighbors = N_one | N_multi | N_every
+type messages = M_one | M_some | M_forced | M_all
+type t = { rel : reliability; nbr : neighbors; msg : messages }
+
+let make rel nbr msg = { rel; nbr; msg }
+
+let all =
+  (* Row order of Figures 3 and 4: for each reliability, messages dimension
+     major (O, S, F, A), neighbors minor (1, M, E). *)
+  List.concat_map
+    (fun rel ->
+      List.concat_map
+        (fun msg -> List.map (fun nbr -> { rel; nbr; msg }) [ N_one; N_multi; N_every ])
+        [ M_one; M_some; M_forced; M_all ])
+    [ Reliable; Unreliable ]
+
+let reliable = List.filter (fun m -> m.rel = Reliable) all
+let unreliable = List.filter (fun m -> m.rel = Unreliable) all
+
+let to_string m =
+  let r = match m.rel with Reliable -> "R" | Unreliable -> "U" in
+  let n = match m.nbr with N_one -> "1" | N_multi -> "M" | N_every -> "E" in
+  let y = match m.msg with M_one -> "O" | M_some -> "S" | M_forced -> "F" | M_all -> "A" in
+  r ^ n ^ y
+
+let of_string s =
+  if String.length s <> 3 then None
+  else
+    let rel =
+      match s.[0] with 'R' -> Some Reliable | 'U' -> Some Unreliable | _ -> None
+    in
+    let nbr =
+      match s.[1] with
+      | '1' -> Some N_one
+      | 'M' -> Some N_multi
+      | 'E' -> Some N_every
+      | _ -> None
+    in
+    let msg =
+      match s.[2] with
+      | 'O' -> Some M_one
+      | 'S' -> Some M_some
+      | 'F' -> Some M_forced
+      | 'A' -> Some M_all
+      | _ -> None
+    in
+    match (rel, nbr, msg) with
+    | Some rel, Some nbr, Some msg -> Some { rel; nbr; msg }
+    | _ -> None
+
+let pp ppf m = Fmt.string ppf (to_string m)
+let equal (a : t) b = a = b
+let compare (a : t) b = compare a b
+let is_polling m = m.msg = M_all
+let is_message_passing m = m.msg = M_one
+let is_queueing m = m.nbr = N_multi && m.msg = M_some
+
+let rel_includes a b = match (a, b) with
+  | Unreliable, _ | Reliable, Reliable -> true
+  | Reliable, Unreliable -> false
+
+let nbr_includes a b =
+  match (a, b) with
+  | N_multi, _ -> true
+  | (N_one | N_every), _ -> a = b
+
+let msg_includes a b =
+  match (a, b) with
+  | M_some, _ -> true
+  | M_forced, (M_one | M_all | M_forced) -> true
+  | M_forced, M_some -> false
+  | (M_one | M_all), _ -> a = b
+
+let includes a b =
+  rel_includes a.rel b.rel && nbr_includes a.nbr b.nbr && msg_includes a.msg b.msg
+
+let required_channels inst v =
+  if v = Spp.Instance.dest inst then []
+  else
+    List.map (fun u -> Channel.id ~src:u ~dst:v) (Spp.Instance.neighbors inst v)
+
+type violation =
+  | Ill_formed of Activation.error
+  | Not_single_node
+  | Wrong_channel_set
+  | Wrong_count of Channel.id
+  | Drop_on_reliable of Channel.id
+
+let pp_violation inst ppf = function
+  | Ill_formed e -> Activation.pp_error inst ppf e
+  | Not_single_node -> Fmt.string ppf "exactly one node must update per step"
+  | Wrong_channel_set -> Fmt.string ppf "channel set violates the neighbors dimension"
+  | Wrong_count c ->
+    Fmt.pf ppf "message count on %a violates the messages dimension" (Channel.pp_id inst) c
+  | Drop_on_reliable c ->
+    Fmt.pf ppf "message dropped on reliable channel %a" (Channel.pp_id inst) c
+
+(* Per-node checks shared by the single- and multi-node validators.  [reads]
+   are the reads whose receiver is [v]. *)
+let node_violations inst m v (reads : Activation.read list) =
+  let errs = ref [] in
+  let add e = errs := e :: !errs in
+  (match m.nbr with
+  | N_one ->
+    (* The destination has no tracked in-channels, so activating it with no
+       reads is the canonical form of its (no-op) channel processing. *)
+    if List.length reads <> 1 && not (required_channels inst v = [] && reads = []) then
+      add Wrong_channel_set
+  | N_multi -> ()
+  | N_every ->
+    let required = required_channels inst v in
+    let present = List.map (fun (r : Activation.read) -> r.chan) reads in
+    let sort = List.sort Channel.compare_id in
+    if sort required <> sort present then add Wrong_channel_set);
+  List.iter
+    (fun (r : Activation.read) ->
+      (match (m.msg, r.count) with
+      | M_one, Activation.Finite 1 -> ()
+      | M_one, _ -> add (Wrong_count r.chan)
+      | M_all, Activation.All -> ()
+      | M_all, _ -> add (Wrong_count r.chan)
+      | M_forced, (Activation.All | Activation.Finite _) ->
+        (match r.count with
+        | Activation.Finite n when n < 1 -> add (Wrong_count r.chan)
+        | _ -> ())
+      | M_some, _ -> ());
+      if m.rel = Reliable && not (Activation.IntSet.is_empty r.drops) then
+        add (Drop_on_reliable r.chan))
+    reads;
+  List.rev !errs
+
+let violations inst m (a : Activation.t) =
+  let base = List.map (fun e -> Ill_formed e) (Activation.well_formed inst a) in
+  let single =
+    match a.Activation.active with
+    | [ v ] -> node_violations inst m v a.Activation.reads
+    | _ -> [ Not_single_node ]
+  in
+  base @ single
+
+let validates inst m a = violations inst m a = []
+
+let validates_multi inst m (a : Activation.t) =
+  Activation.well_formed inst a = []
+  && a.Activation.active <> []
+  && List.for_all
+       (fun v ->
+         let reads =
+           List.filter
+             (fun (r : Activation.read) -> r.chan.Channel.dst = v)
+             a.Activation.reads
+         in
+         node_violations inst m v reads = [])
+       a.Activation.active

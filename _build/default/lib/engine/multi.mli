@@ -1,0 +1,22 @@
+(** Multi-node activations (footnote 1, Ex. A.6, and Sec. 5 of the paper).
+
+    The taxonomy of Sec. 2.2 fixes |U| = 1; these helpers lift a model's
+    per-node dimensions to steps that activate several nodes at once, in
+    the two regimes the paper names: every node per step (synchronous) and
+    unrestricted non-empty sets. *)
+
+type regime = Synchronous | Unrestricted
+
+val validates : Spp.Instance.t -> regime -> Model.t -> Activation.t -> bool
+(** Each active node's reads must satisfy the model's per-node neighbor and
+    message dimensions; [Synchronous] additionally requires U = V. *)
+
+val synchronous_polling : Spp.Instance.t -> Scheduler.t
+(** The classic synchronous schedule: every step, every node polls all
+    messages from all its channels (the multi-node REA).  Its rounds
+    compute exactly the simultaneous best-response iteration of
+    {!Spp.Solver.greedy}. *)
+
+val synchronous : Spp.Instance.t -> Model.t -> Scheduler.t
+(** Every node activates each step, reading all its channels with the
+    model's maximal message count. *)

@@ -1,0 +1,157 @@
+open Spp
+
+let count_str = function
+  | Activation.All -> "all"
+  | Activation.Finite n -> string_of_int n
+
+let read_str inst (r : Activation.read) =
+  let drops =
+    if Activation.IntSet.is_empty r.Activation.drops then ""
+    else
+      "\\"
+      ^ String.concat ","
+          (List.map string_of_int (Activation.IntSet.elements r.Activation.drops))
+  in
+  Printf.sprintf "%s:%s%s"
+    (Instance.name inst r.Activation.chan.Channel.src)
+    (count_str r.Activation.count) drops
+
+let print_entry inst (e : Activation.t) =
+  match e.Activation.active with
+  | [ v ] ->
+    Printf.sprintf "%s <- %s" (Instance.name inst v)
+      (String.concat " " (List.map (read_str inst) e.Activation.reads))
+  | actives ->
+    String.concat " "
+      (List.map
+         (fun v ->
+           let reads =
+             List.filter
+               (fun (r : Activation.read) -> r.Activation.chan.Channel.dst = v)
+               e.Activation.reads
+           in
+           Printf.sprintf "%s[%s]" (Instance.name inst v)
+             (String.concat " " (List.map (read_str inst) reads)))
+         actives)
+
+let print inst entries = String.concat "\n" (List.map (print_entry inst) entries) ^ "\n"
+
+let ( let* ) = Result.bind
+
+let parse_count s =
+  if s = "all" then Ok Activation.All
+  else
+    match int_of_string_opt s with
+    | Some n when n >= 0 -> Ok (Activation.Finite n)
+    | _ -> Error (Printf.sprintf "bad message count %S" s)
+
+let parse_read inst ~dst token =
+  let token, drops =
+    match String.index_opt token '\\' with
+    | None -> (token, Ok [])
+    | Some i ->
+      let spec = String.sub token (i + 1) (String.length token - i - 1) in
+      let drops =
+        List.fold_left
+          (fun acc d ->
+            let* acc = acc in
+            match int_of_string_opt d with
+            | Some n -> Ok (n :: acc)
+            | None -> Error (Printf.sprintf "bad drop index %S" d))
+          (Ok [])
+          (String.split_on_char ',' spec)
+      in
+      (String.sub token 0 i, drops)
+  in
+  let* drops = drops in
+  match String.split_on_char ':' token with
+  | [ src; count ] -> (
+    let* count = parse_count count in
+    match Instance.find_node inst src with
+    | src -> Ok (Activation.read ~drops ~count (Channel.id ~src ~dst))
+    | exception Not_found -> Error (Printf.sprintf "unknown node %S" src))
+  | _ -> Error (Printf.sprintf "bad read %S (want source:count)" token)
+
+let words s =
+  String.split_on_char ' ' s |> List.filter (fun w -> w <> "")
+
+let rec collect_reads inst ~dst acc = function
+  | [] -> Ok (List.rev acc)
+  | tok :: rest ->
+    let* r = parse_read inst ~dst tok in
+    collect_reads inst ~dst (r :: acc) rest
+
+let parse_single inst line =
+  match String.index_opt line '<' with
+  | Some i when i + 1 < String.length line && line.[i + 1] = '-' ->
+    let node = String.trim (String.sub line 0 i) in
+    let rest = String.sub line (i + 2) (String.length line - i - 2) in
+    (match Instance.find_node inst node with
+    | v ->
+      let* reads = collect_reads inst ~dst:v [] (words rest) in
+      Ok (Some (Activation.single v reads))
+    | exception Not_found -> Error (Printf.sprintf "unknown node %S" node))
+  | _ -> Error "expected '<-'"
+
+let parse_multi inst line =
+  (* tokens of the form name[reads...] possibly containing spaces inside
+     the brackets; scan manually. *)
+  let len = String.length line in
+  let rec scan i acc =
+    if i >= len then Ok (List.rev acc)
+    else if line.[i] = ' ' then scan (i + 1) acc
+    else
+      match String.index_from_opt line i '[' with
+      | None -> Error "expected 'node[...]'"
+      | Some lb -> (
+        match String.index_from_opt line lb ']' with
+        | None -> Error "missing ']'"
+        | Some rb ->
+          let name = String.trim (String.sub line i (lb - i)) in
+          let inner = String.sub line (lb + 1) (rb - lb - 1) in
+          (match Instance.find_node inst name with
+          | v ->
+            let* reads = collect_reads inst ~dst:v [] (words inner) in
+            scan (rb + 1) ((v, reads) :: acc)
+          | exception Not_found -> Error (Printf.sprintf "unknown node %S" name)))
+  in
+  let* groups = scan 0 [] in
+  if groups = [] then Ok None
+  else
+    Ok
+      (Some
+         (Activation.entry
+            ~active:(List.map fst groups)
+            ~reads:(List.concat_map snd groups)))
+
+let parse_entry inst line =
+  let line =
+    match String.index_opt line '#' with
+    | Some i -> String.sub line 0 i
+    | None -> line
+  in
+  let line = String.trim line in
+  if line = "" then Ok None
+  else if String.contains line '[' then parse_multi inst line
+  else parse_single inst line
+
+let parse inst text =
+  let lines = String.split_on_char '\n' text in
+  let rec loop acc lineno = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest -> (
+      match parse_entry inst line with
+      | Ok None -> loop acc (lineno + 1) rest
+      | Ok (Some e) -> loop (e :: acc) (lineno + 1) rest
+      | Error e -> Error (Printf.sprintf "line %d: %s" lineno e))
+  in
+  loop [] 1 lines
+
+let save inst ~path entries =
+  Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc (print inst entries))
+
+let load inst ~path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | text -> parse inst text
+  | exception Sys_error e -> Error e

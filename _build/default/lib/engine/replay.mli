@@ -1,0 +1,23 @@
+(** Textual serialization of activation sequences, so schedules can be
+    saved, shared, and replayed from the command line.
+
+    Format: one entry per line,
+
+    {v
+    x <- y:1 d:all
+    d <-
+    x y <- y:all\{1,2} x:all        # multi-node entry with drops
+    v}
+
+    i.e. the active nodes, an arrow, and one [source:count] read per
+    channel, where [count] is a number or [all], optionally followed by a
+    drop set [\{i,j}].  '#' starts a comment. *)
+
+val print_entry : Spp.Instance.t -> Activation.t -> string
+val parse_entry : Spp.Instance.t -> string -> (Activation.t option, string) result
+(** [Ok None] for blank/comment lines. *)
+
+val print : Spp.Instance.t -> Activation.t list -> string
+val parse : Spp.Instance.t -> string -> (Activation.t list, string) result
+val save : Spp.Instance.t -> path:string -> Activation.t list -> unit
+val load : Spp.Instance.t -> path:string -> (Activation.t list, string) result

@@ -1,0 +1,44 @@
+(** Fair activation-sequence generators for each communication model
+    (Def. 2.4: every node tries to read every channel infinitely often, and
+    every dropped message is eventually followed by a non-dropped one). *)
+
+type t = {
+  entries : Activation.t Seq.t;  (** possibly infinite *)
+  period : int option;
+      (** for cyclic schedules, the cycle length, enabling sound divergence
+          detection in {!Executor} *)
+  description : string;
+}
+
+val round_robin : Spp.Instance.t -> Model.t -> t
+(** The canonical deterministic fair schedule: nodes in id order; under
+    E/M models one entry per node reading all its channels, under 1 models
+    one entry per (node, channel) pair.  Message counts are maximal for the
+    model; no messages are dropped (legal in both R and U models). *)
+
+val random : Spp.Instance.t -> Model.t -> seed:int -> t
+(** A randomized schedule, fair by construction: any channel left unread
+    for too long forces an activation that reads it, and under unreliable
+    models a channel whose last processed message was dropped is eventually
+    read without drops.  Deterministic in [seed]. *)
+
+val polling_nodes : Spp.Instance.t -> Spp.Path.node list -> t
+(** The REA-style scripted schedule of Ex. A.2, A.4, A.5: each listed node
+    polls all messages from all its channels. *)
+
+val of_entries : ?period:int -> Activation.t list -> t
+(** A finite scripted schedule (or, with [period] equal to the list length,
+    one whose executor may treat as repeating). *)
+
+val cycle : Activation.t list -> t
+(** Repeats the given entries forever; [period] is the list length. *)
+
+val prefixed : Activation.t list -> Activation.t list -> t
+(** [prefixed prefix cycle] plays [prefix] once and then repeats [cycle]
+    forever.  The declared period is the cycle length, which is sound for
+    divergence detection as long as states repeating one cycle apart are
+    compared at equal phases (they are: phase is the step index modulo the
+    period). *)
+
+val prefix : int -> t -> Activation.t list
+(** The first [n] entries, for inspection and fairness checks. *)

@@ -1,0 +1,102 @@
+module IMap = Map.Make (Int)
+open Spp
+
+type t = {
+  pi : Path.t IMap.t; (* absent = epsilon *)
+  rho : Path.t Channel.Map.t; (* absent = epsilon *)
+  ann : Path.t IMap.t; (* absent = epsilon *)
+  chans : Channel.t;
+}
+
+let normalized_add_i k p m = if Path.is_epsilon p then IMap.remove k m else IMap.add k p m
+
+let normalized_add_c k p m =
+  if Path.is_epsilon p then Channel.Map.remove k m else Channel.Map.add k p m
+
+let initial inst =
+  {
+    pi = IMap.singleton (Instance.dest inst) (Path.of_nodes [ Instance.dest inst ]);
+    rho = Channel.Map.empty;
+    ann = IMap.empty;
+    chans = Channel.empty;
+  }
+
+let find_i k m = match IMap.find_opt k m with Some p -> p | None -> Path.epsilon
+
+let pi t v = find_i v t.pi
+let announced t v = find_i v t.ann
+
+let rho t c =
+  match Channel.Map.find_opt c t.rho with Some p -> p | None -> Path.epsilon
+
+let channels t = t.chans
+let rho_bindings t = Channel.Map.bindings t.rho
+
+let assignment inst t = Assignment.make inst (fun v -> pi t v)
+
+let with_pi t v p = { t with pi = normalized_add_i v p t.pi }
+let with_rho t c p = { t with rho = normalized_add_c c p t.rho }
+let with_announced t v p = { t with ann = normalized_add_i v p t.ann }
+let with_channels t chans = { t with chans }
+
+let best_choice inst t v =
+  if v = Instance.dest inst then Path.of_nodes [ v ]
+  else
+    let candidates =
+      List.filter_map
+        (fun u ->
+          let r = rho t (Channel.id ~src:u ~dst:v) in
+          if Path.is_epsilon r then None
+          else if Path.contains v r then None
+          else Some (Path.extend v r))
+        (Instance.neighbors inst v)
+    in
+    Instance.best inst v candidates
+
+let is_quiescent inst t =
+  Channel.Map.is_empty t.chans
+  && List.for_all
+       (fun v ->
+         let p = best_choice inst t v in
+         Path.equal p (pi t v) && Path.equal p (announced t v))
+       (Instance.nodes inst)
+
+let equal (a : t) b =
+  IMap.equal Path.equal a.pi b.pi
+  && Channel.Map.equal Path.equal a.rho b.rho
+  && IMap.equal Path.equal a.ann b.ann
+  && Channel.Map.equal (List.equal Path.equal) a.chans b.chans
+
+let compare (a : t) b =
+  let c = IMap.compare Path.compare a.pi b.pi in
+  if c <> 0 then c
+  else
+    let c = Channel.Map.compare Path.compare a.rho b.rho in
+    if c <> 0 then c
+    else
+      let c = IMap.compare Path.compare a.ann b.ann in
+      if c <> 0 then c
+      else Channel.Map.compare (List.compare Path.compare) a.chans b.chans
+
+let hash t =
+  Hashtbl.hash
+    ( IMap.bindings t.pi,
+      Channel.Map.bindings t.rho,
+      IMap.bindings t.ann,
+      Channel.Map.bindings t.chans )
+
+let pp inst ppf t =
+  let pp_path = Instance.pp_path inst in
+  Fmt.pf ppf "@[<v>pi: %a@,rho: %a@,queues: %a@]"
+    Fmt.(
+      list ~sep:(any ", ") (fun ppf v ->
+          Fmt.pf ppf "%s:%a" (Instance.name inst v) pp_path (pi t v)))
+    (Instance.nodes inst)
+    Fmt.(
+      list ~sep:(any ", ") (fun ppf (c, p) ->
+          Fmt.pf ppf "%a=%a" (Channel.pp_id inst) c pp_path p))
+    (Channel.Map.bindings t.rho)
+    Fmt.(
+      list ~sep:(any ", ") (fun ppf (c, msgs) ->
+          Fmt.pf ppf "%a=[%a]" (Channel.pp_id inst) c (list ~sep:semi pp_path) msgs))
+    (Channel.bindings t.chans)

@@ -1,0 +1,44 @@
+(** Network state (Def. 2.1): path assignments π, known routes ρ, and
+    channel contents, plus the last-announced route of each node (the
+    interpretation of step 4 of Def. 2.3 described in DESIGN.md).
+
+    Values are immutable and normalized — epsilon routes and empty channels
+    are never stored — so structural equality and hashing are semantic. *)
+
+type t
+
+val initial : Spp.Instance.t -> t
+(** π_d(0) = d, everything else epsilon, all channels empty.  Note that the
+    destination has not yet {e announced} its path; its first activation
+    injects the initial announcements (Ex. A.1). *)
+
+val pi : t -> Spp.Path.node -> Spp.Path.t
+val rho : t -> Channel.id -> Spp.Path.t
+val announced : t -> Spp.Path.node -> Spp.Path.t
+val channels : t -> Channel.t
+
+val rho_bindings : t -> (Channel.id * Spp.Path.t) list
+(** All non-epsilon known routes. *)
+
+val assignment : Spp.Instance.t -> t -> Spp.Assignment.t
+(** The π component as an assignment. *)
+
+val with_pi : t -> Spp.Path.node -> Spp.Path.t -> t
+val with_rho : t -> Channel.id -> Spp.Path.t -> t
+val with_announced : t -> Spp.Path.node -> Spp.Path.t -> t
+val with_channels : t -> Channel.t -> t
+
+val best_choice : Spp.Instance.t -> t -> Spp.Path.node -> Spp.Path.t
+(** The route the node would choose right now (step 3 of Def. 2.3): the most
+    preferred permitted extension of its known routes ρ; the trivial path at
+    the destination. *)
+
+val is_quiescent : Spp.Instance.t -> t -> bool
+(** All channels are empty and every node's chosen route equals its
+    announced route; no activation can change any component from such a
+    state, so the execution has converged. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val pp : Spp.Instance.t -> Format.formatter -> t -> unit

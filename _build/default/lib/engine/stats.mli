@@ -1,0 +1,40 @@
+(** Convergence-cost statistics across schedules: the measurement harness
+    behind the bench's ablation tables. *)
+
+type sample = {
+  converged : bool;
+  stale : bool;
+      (** quiescent but not at a stable solution: only possible when
+          messages were dropped in a way the fairness condition (Def. 2.4)
+          rules out in the limit *)
+  steps : int;
+  messages : int;
+}
+
+type summary = {
+  runs : int;
+  all_converged : bool;
+  stale_runs : int;
+  mean_steps : float;
+  max_steps : int;
+  mean_messages : float;
+  max_messages : int;
+}
+
+val measure :
+  ?max_steps:int ->
+  ?export:Step.export ->
+  Spp.Instance.t ->
+  Scheduler.t ->
+  sample
+(** One run: steps until quiescence and route announcements written. *)
+
+val across_seeds :
+  ?max_steps:int ->
+  ?export:Step.export ->
+  Spp.Instance.t ->
+  scheduler:(seed:int -> Scheduler.t) ->
+  seeds:int list ->
+  summary
+
+val pp_summary : Format.formatter -> summary -> unit

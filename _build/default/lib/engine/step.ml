@@ -1,0 +1,110 @@
+open Spp
+
+type export = src:Path.node -> dst:Path.node -> Path.t -> bool
+
+let export_all ~src:_ ~dst:_ _ = true
+
+type outcome = {
+  state : State.t;
+  processed : (Channel.id * int) list;
+  dropped : (Channel.id * int) list;
+  announcements : (Path.node * Path.t) list;
+  pushed : (Channel.id * Path.t) list;
+}
+
+(* What [src] actually offers to [dst] under the export policy: the path
+   itself if exportable, otherwise a withdrawal. *)
+let effective export ~src ~dst p =
+  if Path.is_epsilon p then Path.epsilon
+  else if export ~src ~dst p then p
+  else Path.epsilon
+
+let apply ?(export = export_all) inst state (entry : Activation.t) =
+  (match Activation.well_formed inst entry with
+  | [] -> ()
+  | e :: _ -> invalid_arg (Fmt.str "Step.apply: %a" (Activation.pp_error inst) e));
+  (* Phase 1: process channels. *)
+  let processed = ref [] and dropped = ref [] in
+  let state =
+    List.fold_left
+      (fun st (r : Activation.read) ->
+        let c = r.chan in
+        let contents = Channel.get (State.channels st) c in
+        let m = List.length contents in
+        let i =
+          match r.count with Activation.All -> m | Activation.Finite f -> min f m
+        in
+        if i = 0 then st
+        else begin
+          let kept =
+            (* Largest index j in 1..i with j not dropped; messages are
+               1-based, [contents] is oldest-first. *)
+            let rec scan best j = function
+              | [] -> best
+              | msg :: rest ->
+                if j > i then best
+                else
+                  let best =
+                    if Activation.IntSet.mem j r.drops then best else Some msg
+                  in
+                  scan best (j + 1) rest
+            in
+            scan None 1 contents
+          in
+          let n_dropped =
+            Activation.IntSet.cardinal
+              (Activation.IntSet.filter (fun j -> j >= 1 && j <= i) r.drops)
+          in
+          processed := (c, i) :: !processed;
+          if n_dropped > 0 then dropped := (c, n_dropped) :: !dropped;
+          let st =
+            match kept with
+            | Some msg -> State.with_rho st c msg
+            | None -> st (* all processed messages dropped: rho unchanged *)
+          in
+          State.with_channels st (Channel.drop_first (State.channels st) c i)
+        end)
+      state entry.Activation.reads
+  in
+  (* Phase 2: route choices. *)
+  let choices = List.map (fun v -> (v, State.best_choice inst state v)) entry.active in
+  let state =
+    List.fold_left (fun st (v, p) -> State.with_pi st v p) state choices
+  in
+  (* Phase 3: announcements. *)
+  let announcements = ref [] in
+  let pushed = ref [] in
+  let state =
+    List.fold_left
+      (fun st (v, p) ->
+        let old = State.announced st v in
+        if Path.equal p old then st
+        else begin
+          announcements := (v, p) :: !announcements;
+          let st =
+            List.fold_left
+              (fun st u ->
+                if u = Instance.dest inst then st
+                  (* channels into the destination are not tracked *)
+                else
+                  let eff_new = effective export ~src:v ~dst:u p in
+                  let eff_old = effective export ~src:v ~dst:u old in
+                  if Path.equal eff_new eff_old then st
+                  else begin
+                    let c = Channel.id ~src:v ~dst:u in
+                    pushed := (c, eff_new) :: !pushed;
+                    State.with_channels st (Channel.push (State.channels st) c eff_new)
+                  end)
+              st (Instance.neighbors inst v)
+          in
+          State.with_announced st v p
+        end)
+      state choices
+  in
+  {
+    state;
+    processed = List.rev !processed;
+    dropped = List.rev !dropped;
+    announcements = List.rev !announcements;
+    pushed = List.rev !pushed;
+  }

@@ -1,0 +1,35 @@
+(** One step of the iterative routing algorithm (Def. 2.3).
+
+    Given the entry (U, X, f, g) for the current step, a step (1) processes
+    messages from the channels in X, updating known routes ρ and deleting
+    processed messages, (2) lets every active node choose its most preferred
+    feasible route, and (3) writes announcements for changed choices into
+    the out-channels prescribed by the export policy.
+
+    Deviations from the paper's literal text, both documented in DESIGN.md:
+    the number of messages processed is [min f(c) m_c] (the text's [max] is
+    a typo), and announcement is triggered by comparison with the node's
+    last-announced route rather than π_v(t−1). *)
+
+type export = src:Spp.Path.node -> dst:Spp.Path.node -> Spp.Path.t -> bool
+(** Export policy: whether [src] announces the given newly chosen path to
+    [dst].  Withdrawals (epsilon) are always sent to keep neighbors'
+    knowledge sound. *)
+
+val export_all : export
+(** The SPP default: announce everything to every neighbor. *)
+
+type outcome = {
+  state : State.t;
+  processed : (Channel.id * int) list;  (** messages consumed per channel *)
+  dropped : (Channel.id * int) list;  (** messages dropped per channel *)
+  announcements : (Spp.Path.node * Spp.Path.t) list;
+      (** route changes written to out-channels this step *)
+  pushed : (Channel.id * Spp.Path.t) list;
+      (** individual messages appended to channels this step, in order *)
+}
+
+val apply : ?export:export -> Spp.Instance.t -> State.t -> Activation.t -> outcome
+(** Raises [Invalid_argument] if the entry is not well-formed for the
+    instance.  The entry is {e not} checked against any model; use
+    {!Model.validates} for that. *)

@@ -1,0 +1,23 @@
+open Spp
+
+let transplant ~old_instance ~new_instance state =
+  if Instance.size old_instance <> Instance.size new_instance then
+    invalid_arg "Surgery.transplant: instances differ in size";
+  let alive (c : Channel.id) =
+    Instance.are_adjacent new_instance c.Channel.src c.Channel.dst
+  in
+  let st = State.initial new_instance in
+  let st =
+    List.fold_left
+      (fun st v ->
+        let st = State.with_pi st v (State.pi state v) in
+        State.with_announced st v (State.announced state v))
+      st
+      (Instance.nodes new_instance)
+  in
+  let st =
+    List.fold_left
+      (fun st (c, r) -> if alive c then State.with_rho st c r else st)
+      st (State.rho_bindings state)
+  in
+  State.with_channels st (Channel.Map.filter (fun c _ -> alive c) (State.channels state))

@@ -1,0 +1,18 @@
+(** State surgery across topology or policy changes.
+
+    A network event (link failure, mobility, a policy update) yields a new
+    instance over the same node ids; the running state carries over: nodes
+    keep their current (possibly stale) routes and announcements, channels
+    that survive keep their knowledge and in-flight messages, channels that
+    disappeared are discarded.  This is the semantics of a BGP session
+    reset or of a wireless link moving out of range, generalized from
+    {!Bgp.Failure} to arbitrary instances. *)
+
+val transplant :
+  old_instance:Spp.Instance.t ->
+  new_instance:Spp.Instance.t ->
+  State.t ->
+  State.t
+(** Both instances must have the same node count; node ids are preserved.
+    Knowledge and queues of channels absent from the new instance are
+    dropped. *)

@@ -1,0 +1,148 @@
+open Spp
+
+type mode = Batch | Event_driven
+
+type config = {
+  mode : mode;
+  mrai : Path.node -> int;
+  link_delay : Channel.id -> int;
+  horizon : int;
+}
+
+let default =
+  { mode = Batch; mrai = (fun _ -> 1); link_delay = (fun _ -> 1); horizon = 100_000 }
+
+type result = {
+  converged : bool;
+  finish_time : int;
+  last_change : int;
+  messages : int;
+  activations : int;
+  assignment : Assignment.t;
+}
+
+(* Arrival times of the queued messages, oldest first, kept in lockstep
+   with the engine's channel queues. *)
+type timed_state = { state : State.t; arrivals : int list Channel.Map.t }
+
+let arrivals_of ts c =
+  match Channel.Map.find_opt c ts.arrivals with Some l -> l | None -> []
+
+let step_timed cfg inst ts ~now entry =
+  let outcome = Step.apply inst ts.state entry in
+  (* pops *)
+  let arrivals =
+    List.fold_left
+      (fun arr (c, k) ->
+        let rec drop n l = if n = 0 then l else match l with [] -> [] | _ :: t -> drop (n - 1) t in
+        Channel.Map.add c (drop k (arrivals_of { ts with arrivals = arr } c)) arr)
+      ts.arrivals outcome.Step.processed
+  in
+  (* pushes, stamped with propagation delay *)
+  let arrivals =
+    List.fold_left
+      (fun arr (c, _) ->
+        let prev = match Channel.Map.find_opt c arr with Some l -> l | None -> [] in
+        Channel.Map.add c (prev @ [ now + cfg.link_delay c ]) arr)
+      arrivals outcome.Step.pushed
+  in
+  ({ state = outcome.Step.state; arrivals }, outcome)
+
+let arrived ts c ~now =
+  List.length (List.filter (fun t -> t <= now) (arrivals_of ts c))
+
+let batch_entry inst ts ~now v =
+  let reads =
+    List.filter_map
+      (fun c ->
+        let k = arrived ts c ~now in
+        if k = 0 then None else Some (Activation.read ~count:(Activation.Finite k) c))
+      (Model.required_channels inst v)
+  in
+  Activation.single v reads
+
+let run ?(config = default) inst =
+  let messages = ref 0 and activations = ref 0 and last_change = ref 0 in
+  let pi_changed outcome = outcome.Step.announcements <> [] in
+  let quiescent ts = State.is_quiescent inst ts.state in
+  let finish = ref None in
+  let ts = ref { state = State.initial inst; arrivals = Channel.Map.empty } in
+  let record outcome ~now =
+    incr activations;
+    messages := !messages + List.length outcome.Step.pushed;
+    if pi_changed outcome then last_change := now
+  in
+  (match config.mode with
+  | Batch ->
+    let now = ref 0 in
+    while !finish = None && !now <= config.horizon do
+      List.iter
+        (fun v ->
+          let interval = max 1 (config.mrai v) in
+          if !now mod interval = 0 then begin
+            let entry = batch_entry inst !ts ~now:!now v in
+            let ts', outcome = step_timed config inst !ts ~now:!now entry in
+            ts := ts';
+            record outcome ~now:!now
+          end)
+        (Instance.nodes inst);
+      if quiescent !ts then finish := Some !now;
+      incr now
+    done
+  | Event_driven ->
+    (* Event queue: message arrivals trigger a single read; the initial
+       event activates the destination. *)
+    let module PQ = Set.Make (struct
+      type t = int * int * Channel.id option (* time, seq, channel *)
+
+      let compare = compare
+    end) in
+    let seq = ref 0 in
+    let queue = ref PQ.empty in
+    let push_event time chan =
+      incr seq;
+      queue := PQ.add (time, !seq, chan) !queue
+    in
+    push_event 0 None;
+    while !finish = None && not (PQ.is_empty !queue) do
+      let ((now, _, chan) as ev) = PQ.min_elt !queue in
+      queue := PQ.remove ev !queue;
+      if now > config.horizon then finish := Some now
+      else begin
+        let entry =
+          match chan with
+          | None -> Activation.single (Instance.dest inst) []
+          | Some c ->
+            Activation.single c.Channel.dst
+              [ Activation.read ~count:(Activation.Finite 1) c ]
+        in
+        let ts', outcome = step_timed config inst !ts ~now entry in
+        ts := ts';
+        record outcome ~now;
+        List.iter
+          (fun (c, _) -> push_event (now + config.link_delay c) (Some c))
+          outcome.Step.pushed;
+        if PQ.is_empty !queue && quiescent !ts then finish := Some now
+      end
+    done;
+    if !finish = None && quiescent !ts then finish := Some 0);
+  let converged = quiescent !ts in
+  {
+    converged;
+    finish_time = (match !finish with Some t -> t | None -> config.horizon);
+    last_change = !last_change;
+    messages = !messages;
+    activations = !activations;
+    assignment = State.assignment inst !ts.state;
+  }
+
+let spread_delays _inst (c : Channel.id) =
+  1 + ((c.Channel.src * 7) + (c.Channel.dst * 13)) mod 6
+
+let mrai_sweep ?(intervals = [ 1; 2; 4; 8; 16 ]) ?link_delay inst =
+  let link_delay =
+    match link_delay with Some f -> f | None -> default.link_delay
+  in
+  List.map
+    (fun i -> (i, run ~config:{ default with mrai = (fun _ -> i); link_delay } inst))
+    intervals

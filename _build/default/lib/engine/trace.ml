@@ -1,0 +1,50 @@
+open Spp
+
+type step = { index : int; entry : Activation.t; outcome : Step.outcome }
+
+type t = { inst : Instance.t; init : State.t; steps : step list }
+
+let instance t = t.inst
+let initial t = t.init
+let steps t = t.steps
+let length t = List.length t.steps
+
+let final t =
+  match List.rev t.steps with
+  | [] -> t.init
+  | last :: _ -> last.outcome.Step.state
+
+let make inst init steps = { inst; init; steps }
+
+let assignments ?(include_initial = false) t =
+  let rest = List.map (fun s -> State.assignment t.inst s.outcome.Step.state) t.steps in
+  if include_initial then State.assignment t.inst t.init :: rest else rest
+
+let active_rows t =
+  List.concat_map
+    (fun s ->
+      List.map
+        (fun v -> (v, State.pi s.outcome.Step.state v))
+        s.entry.Activation.active)
+    t.steps
+
+let row_strings t =
+  let names = Instance.names t.inst in
+  List.map
+    (fun (v, p) -> (Instance.name t.inst v, Path.to_string ~names p))
+    (active_rows t)
+
+let paper_table t =
+  let rows = row_strings t in
+  let cells = List.mapi (fun i (u, p) -> (string_of_int (i + 1), u, p)) rows in
+  let width (a, b, c) = max (String.length a) (max (String.length b) (String.length c)) in
+  let pad w s = s ^ String.make (w - String.length s) ' ' in
+  let line f =
+    String.concat "  " (List.map (fun cell -> pad (width cell) (f cell)) cells)
+  in
+  Printf.sprintf "t            =  %s\nU(t)         =  %s\npi_U(t)(t)   =  %s"
+    (line (fun (a, _, _) -> a))
+    (line (fun (_, b, _) -> b))
+    (line (fun (_, _, c) -> c))
+
+let pp ppf t = Fmt.string ppf (paper_table t)

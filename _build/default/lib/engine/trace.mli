@@ -1,0 +1,33 @@
+(** Recorded executions: the activation entries applied, the resulting
+    states, and pretty-printing in the style of the paper's appendix tables
+    (t / U(t) / π_{U(t)}(t)). *)
+
+type step = { index : int; entry : Activation.t; outcome : Step.outcome }
+(** [index] starts at 1, as in the paper's tables. *)
+
+type t
+
+val instance : t -> Spp.Instance.t
+val initial : t -> State.t
+val steps : t -> step list
+val final : t -> State.t
+val length : t -> int
+
+val make : Spp.Instance.t -> State.t -> step list -> t
+(** [make inst init steps]: [steps] in execution order. *)
+
+val assignments : ?include_initial:bool -> t -> Spp.Assignment.t list
+(** The sequence of path assignments π(t); [include_initial] (default
+    [false]) prepends π(0). *)
+
+val active_rows : t -> (Spp.Path.node * Spp.Path.t) list
+(** For single-active-node steps, the (U(t), π_{U(t)}(t)) pairs of the
+    paper's tables; multi-node steps contribute one pair per active node. *)
+
+val row_strings : t -> (string * string) list
+(** {!active_rows} rendered with node names and compact paths. *)
+
+val paper_table : t -> string
+(** The appendix-style three-line table. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/modelcheck/audit.ml: Activation Buffer Engine Executor Facts Fmt List Model Option Oscillation Realization Refute Relation Scheduler Seqcheck Spp String Trace Transform

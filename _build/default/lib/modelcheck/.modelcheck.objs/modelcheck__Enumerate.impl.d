@@ -1,0 +1,1 @@
+lib/modelcheck/enumerate.ml: Activation Channel Engine Fun Instance List Model Option Spp

@@ -1,0 +1,1 @@
+lib/modelcheck/enumerate.mli: Engine Spp

@@ -1,0 +1,1 @@
+lib/modelcheck/explore.ml: Array Channel Engine Enumerate Hashtbl List Model Queue Spp State Step

@@ -1,0 +1,1 @@
+lib/modelcheck/explore.mli: Engine Enumerate Spp

@@ -1,0 +1,1 @@
+lib/modelcheck/oscillation.mli: Engine Explore Format Spp

@@ -1,0 +1,1 @@
+lib/modelcheck/quiescence.ml: Array Engine Explore List Spp State

@@ -1,0 +1,1 @@
+lib/modelcheck/quiescence.mli: Engine Explore Spp

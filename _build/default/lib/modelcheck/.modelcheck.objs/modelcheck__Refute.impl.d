@@ -1,0 +1,1 @@
+lib/modelcheck/refute.ml: Activation Array Assignment Channel Engine Enumerate Explore Fmt Hashtbl Instance List Option Queue Realization Scc Set Spp State Step

@@ -1,0 +1,1 @@
+lib/modelcheck/refute.mli: Engine Explore Format Realization Spp

@@ -1,0 +1,1 @@
+lib/modelcheck/report.ml: Assignment Buffer Dispute Engine Explore Fmt Instance List Model Oscillation Quiescence Solver Spp

@@ -1,0 +1,1 @@
+lib/modelcheck/report.mli: Engine Explore Spp

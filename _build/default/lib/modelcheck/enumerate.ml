@@ -1,0 +1,98 @@
+open Engine
+open Spp
+
+type labeled = {
+  entry : Activation.t;
+  reads : Channel.id list;
+  drops : Channel.id list;
+  cleans : Channel.id list;
+}
+
+(* Canonical read options for one channel holding [m] messages: a list of
+   (read, has_drop, has_clean) triples.
+
+   For reliable channels there is exactly one effect per effective count i:
+   process i messages, keep the last.  For unreliable channels the effect of
+   any drop set on i processed messages is determined by the largest kept
+   index j (or none): the canonical representative drops exactly
+   {j+1, ..., i}. *)
+let read_options (model : Model.t) c ~m =
+  let mk ?(drops = []) count =
+    let has_drop = drops <> [] in
+    let processed = match count with Activation.All -> m | Activation.Finite f -> min f m in
+    let kept_any = processed > List.length drops in
+    (Activation.read ~drops ~count c, has_drop, processed > 0 && kept_any)
+  in
+  let with_drop_variants count i =
+    (* i = effective number of processed messages for this count *)
+    if model.Model.rel = Model.Reliable || i = 0 then [ mk count ]
+    else
+      mk count
+      :: List.init i (fun j ->
+             (* keep messages 1..j, drop j+1..i (j = 0 drops everything) *)
+             let drops = List.init (i - j) (fun k -> j + k + 1) in
+             mk ~drops count)
+  in
+  match model.Model.msg with
+  | Model.M_one -> with_drop_variants (Activation.Finite 1) (min 1 m)
+  | Model.M_all -> with_drop_variants Activation.All m
+  | Model.M_forced ->
+    if m = 0 then [ mk (Activation.Finite 1) ]
+    else
+      List.concat_map
+        (fun i -> with_drop_variants (Activation.Finite i) i)
+        (List.init m (fun i -> i + 1))
+  | Model.M_some ->
+    mk (Activation.Finite 0)
+    :: List.concat_map
+         (fun i -> with_drop_variants (Activation.Finite i) i)
+         (List.init m (fun i -> i + 1))
+
+let label v (choices : (Activation.read * bool * bool) list) =
+  let entry = Activation.single v (List.map (fun (r, _, _) -> r) choices) in
+  {
+    entry;
+    reads = List.map (fun ((r : Activation.read), _, _) -> r.Activation.chan) choices;
+    drops =
+      List.filter_map
+        (fun ((r : Activation.read), d, _) -> if d then Some r.Activation.chan else None)
+        choices;
+    cleans =
+      List.filter_map
+        (fun ((r : Activation.read), _, k) -> if k then Some r.Activation.chan else None)
+        choices;
+  }
+
+(* Cartesian product of per-channel option lists. *)
+let rec product = function
+  | [] -> [ [] ]
+  | opts :: rest ->
+    let tails = product rest in
+    List.concat_map (fun o -> List.map (fun t -> o :: t) tails) opts
+
+let successors_with inst (model_of : Spp.Path.node -> Model.t) state =
+  let chans = Engine.State.channels state in
+  List.concat_map
+    (fun v ->
+      let model = model_of v in
+      let options_for c = read_options model c ~m:(Channel.length chans c) in
+      let required = Model.required_channels inst v in
+      if required = [] then
+        (* The destination: activating it reads nothing.  Only one entry. *)
+        [ label v [] ]
+      else
+        match model.Model.nbr with
+        | Model.N_one ->
+          List.concat_map (fun c -> List.map (fun o -> label v [ o ]) (options_for c)) required
+        | Model.N_every ->
+          List.map (label v) (product (List.map options_for required))
+        | Model.N_multi ->
+          (* Per channel: absent or one of its options.  The all-absent
+             combination is kept: it is a legal no-op activation. *)
+          let per_channel =
+            List.map (fun c -> None :: List.map Option.some (options_for c)) required
+          in
+          List.map (fun combo -> label v (List.filter_map Fun.id combo)) (product per_channel))
+    (Instance.nodes inst)
+
+let successors inst (model : Model.t) state = successors_with inst (fun _ -> model) state

@@ -1,0 +1,26 @@
+(** Enumeration of the activation entries a model allows at a given network
+    state, up to observational equivalence.
+
+    Two entries are observationally equivalent when they consume the same
+    messages, leave the same known route, and differ only in drop patterns
+    with identical effect; one canonical representative per class keeps the
+    state space small without losing behaviors (DESIGN.md). *)
+
+type labeled = {
+  entry : Engine.Activation.t;
+  reads : Engine.Channel.id list;  (** channels tried (fairness bookkeeping) *)
+  drops : Engine.Channel.id list;  (** channels with >= 1 dropped message *)
+  cleans : Engine.Channel.id list;
+      (** channels with >= 1 processed, non-dropped message *)
+}
+
+val successors : Spp.Instance.t -> Engine.Model.t -> Engine.State.t -> labeled list
+(** All canonical entries of the model at this state (for every choice of
+    active node). *)
+
+val successors_with :
+  Spp.Instance.t ->
+  (Spp.Path.node -> Engine.Model.t) ->
+  Engine.State.t ->
+  labeled list
+(** Heterogeneous variant: each node activates under its own model. *)

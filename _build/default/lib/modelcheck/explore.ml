@@ -1,0 +1,119 @@
+open Engine
+
+type config = { channel_bound : int; max_states : int }
+
+let default_config = { channel_bound = 4; max_states = 200_000 }
+
+type edge = { dst : int; label : Enumerate.labeled }
+
+type graph = {
+  states : State.t array;
+  adjacency : edge list array;
+  pruned : bool;
+  truncated : bool;
+}
+
+module StateTbl = Hashtbl.Make (struct
+  type t = State.t
+
+  let equal = State.equal
+  let hash = State.hash
+end)
+
+(* For reliable polling models (msg = All, no drops) only the newest message
+   in a channel can ever become a known route, so collapsing every queue to
+   its last element is an exact bisimulation and shrinks the state space
+   dramatically. *)
+let collapse_state model st =
+  if model.Model.rel = Model.Reliable && model.Model.msg = Model.M_all then begin
+    let chans = State.channels st in
+    let collapsed =
+      Channel.Map.map
+        (fun msgs -> match List.rev msgs with [] -> [] | last :: _ -> [ last ])
+        chans
+    in
+    State.with_channels st collapsed
+  end
+  else st
+
+(* Receiver-relevance projection: a route r in channel (u, v) (or already
+   known as rho_v((u,v))) can only ever influence the execution through the
+   candidate v·r, so whenever that extension is not permitted at v the value
+   of r is observationally equivalent to epsilon.  Projecting such values to
+   epsilon merges states with identical future behavior.  Message *counts*
+   are preserved (an epsilon message still occupies a queue slot), so the f
+   and g bookkeeping is untouched. *)
+let project_state inst st =
+  let relevant v r =
+    (not (Spp.Path.is_epsilon r))
+    && (not (Spp.Path.contains v r))
+    && Spp.Instance.is_permitted inst v (Spp.Path.extend v r)
+  in
+  let st =
+    List.fold_left
+      (fun acc ((c : Channel.id), r) ->
+        if relevant c.Channel.dst r then acc else State.with_rho acc c Spp.Path.epsilon)
+      st (State.rho_bindings st)
+  in
+  let projected_chans =
+    Channel.Map.mapi
+      (fun (c : Channel.id) msgs ->
+        List.map (fun r -> if relevant c.Channel.dst r then r else Spp.Path.epsilon) msgs)
+      (State.channels st)
+  in
+  State.with_channels st projected_chans
+
+let explore_with ?(config = default_config) inst ~successors ~collapse =
+  let index = StateTbl.create 1024 in
+  let states = ref [] and n_states = ref 0 in
+  let adjacency : (int, edge list) Hashtbl.t = Hashtbl.create 1024 in
+  let pruned = ref false and truncated = ref false in
+  let queue = Queue.create () in
+  let intern st =
+    match StateTbl.find_opt index st with
+    | Some i -> (i, false)
+    | None ->
+      let i = !n_states in
+      StateTbl.add index st i;
+      states := st :: !states;
+      incr n_states;
+      (i, true)
+  in
+  let init = State.initial inst in
+  let i0, _ = intern init in
+  Queue.add (i0, init) queue;
+  while not (Queue.is_empty queue) do
+    let i, st = Queue.pop queue in
+    if !n_states > config.max_states then begin
+      truncated := true;
+      Queue.clear queue
+    end
+    else begin
+      let edges =
+        List.filter_map
+          (fun (labeled : Enumerate.labeled) ->
+            let outcome = Step.apply inst st labeled.Enumerate.entry in
+            let st' = project_state inst (collapse outcome.Step.state) in
+            if Channel.max_occupancy (State.channels st') > config.channel_bound then begin
+              pruned := true;
+              None
+            end
+            else begin
+              let j, fresh = intern st' in
+              if fresh then Queue.add (j, st') queue;
+              Some { dst = j; label = labeled }
+            end)
+          (successors st)
+      in
+      Hashtbl.replace adjacency i edges
+    end
+  done;
+  let states_arr = Array.of_list (List.rev !states) in
+  let adj = Array.make (Array.length states_arr) [] in
+  Hashtbl.iter (fun i es -> if i < Array.length adj then adj.(i) <- es) adjacency;
+  { states = states_arr; adjacency = adj; pruned = !pruned; truncated = !truncated }
+
+let explore ?config inst model =
+  explore_with ?config inst
+    ~successors:(Enumerate.successors inst model)
+    ~collapse:(collapse_state model)

@@ -1,0 +1,35 @@
+(** Explicit-state exploration of an instance under a communication model.
+
+    Channels are bounded: any write that would push a channel beyond
+    [channel_bound] messages prunes that edge (and the result is flagged),
+    so "no oscillation found" verdicts are exhaustive only over the bounded
+    space — see DESIGN.md.  Oscillation witnesses are sound regardless. *)
+
+type config = { channel_bound : int; max_states : int }
+
+val default_config : config
+(** channel bound 4, at most 200_000 states. *)
+
+type edge = { dst : int; label : Enumerate.labeled }
+
+type graph = {
+  states : Engine.State.t array;  (** index 0 is the initial state *)
+  adjacency : edge list array;
+  pruned : bool;  (** some write hit the channel bound *)
+  truncated : bool;  (** exploration stopped at [max_states] *)
+}
+
+val collapse_state : Engine.Model.t -> Engine.State.t -> Engine.State.t
+(** The last-message-only channel reduction, exact for reliable polling
+    models (identity otherwise). *)
+
+val explore : ?config:config -> Spp.Instance.t -> Engine.Model.t -> graph
+
+val explore_with :
+  ?config:config ->
+  Spp.Instance.t ->
+  successors:(Engine.State.t -> Enumerate.labeled list) ->
+  collapse:(Engine.State.t -> Engine.State.t) ->
+  graph
+(** Generalized entry point (heterogeneous models, custom reductions);
+    [collapse] must be an exact abstraction of the successor relation. *)

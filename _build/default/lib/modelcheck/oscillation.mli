@@ -1,0 +1,45 @@
+(** Fair-oscillation detection (the semantic core of Def. 2.4/2.5 claims).
+
+    An instance can oscillate under a model iff its (bounded) state graph
+    contains a strongly connected edge set that (a) tries to read every
+    tracked channel, (b) only drops messages on channels it also reads
+    cleanly, and (c) visits at least two distinct path assignments.  Looping
+    over such an edge set forever is a fair nonconvergent execution; the
+    returned witness makes this concrete as a schedule the {!Engine.Executor}
+    can replay. *)
+
+type witness = {
+  prefix : Engine.Activation.t list;  (** from the initial state to the cycle *)
+  cycle : Engine.Activation.t list;  (** a fair, π-changing closed walk *)
+}
+
+type verdict =
+  | Oscillates of witness
+  | Converges  (** exhaustive over the bounded space: no fair oscillation *)
+  | Unknown of string  (** bounded exploration was pruned or truncated *)
+
+val pp_verdict : Format.formatter -> verdict -> unit
+val verdict_name : verdict -> string
+
+val analyze :
+  ?config:Explore.config -> Spp.Instance.t -> Engine.Model.t -> verdict
+
+val analyze_hetero :
+  ?config:Explore.config -> Spp.Instance.t -> Engine.Hetero.t -> verdict
+(** Exhaustive verdict when each node runs its own model (Sec. 5's open
+    mixed-model question). *)
+
+val verify_witness :
+  ?max_steps:int -> Spp.Instance.t -> Engine.Model.t -> witness -> bool
+(** Replays the witness under the executor (validating every entry against
+    the model) and checks that a state cycle is reached and that the cycle
+    is fair. *)
+
+val verify_witness_hetero :
+  ?max_steps:int -> Spp.Instance.t -> Engine.Hetero.t -> witness -> bool
+
+val sweep :
+  ?config:Explore.config ->
+  Spp.Instance.t ->
+  Engine.Model.t list ->
+  (Engine.Model.t * verdict) list

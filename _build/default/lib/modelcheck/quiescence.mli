@@ -1,0 +1,28 @@
+(** Which stable solutions are actually reachable under a model?
+
+    A solvable instance may have several stable solutions (DISAGREE has
+    two); which ones fair executions can end in depends on the
+    communication model and schedule.  This module enumerates the quiescent
+    states of the bounded state graph and reports the distinct stable
+    assignments they carry. *)
+
+val reachable_solutions :
+  ?config:Explore.config ->
+  Spp.Instance.t ->
+  Engine.Model.t ->
+  Spp.Assignment.t list
+(** Distinct stable solutions carried by reachable quiescent states.  Order
+    is deterministic. *)
+
+val stale_quiescent_assignments :
+  ?config:Explore.config ->
+  Spp.Instance.t ->
+  Engine.Model.t ->
+  Spp.Assignment.t list
+(** Distinct assignments of reachable quiescent states that are {e not}
+    stable solutions.  Such states exist only under unreliable models: a
+    final announcement was dropped and never re-sent, which Def. 2.4's
+    fairness condition excludes in the limit — they are dead ends of unfair
+    executions, not convergence points. *)
+
+val solution_count : ?config:Explore.config -> Spp.Instance.t -> Engine.Model.t -> int

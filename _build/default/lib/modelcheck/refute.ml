@@ -1,0 +1,247 @@
+open Engine
+open Spp
+
+type result =
+  | Realizable of Activation.t list
+  | Impossible
+  | Unknown of string
+
+let pp_result ppf = function
+  | Realizable entries -> Fmt.pf ppf "realizable (%d-step schedule)" (List.length entries)
+  | Impossible -> Fmt.string ppf "impossible (exhaustive)"
+  | Unknown reason -> Fmt.pf ppf "unknown (%s)" reason
+
+module Key = struct
+  type t = State.t * int
+
+  let equal (s, i) (s', i') = i = i' && State.equal s s'
+  let hash (s, i) = (State.hash s * 31) + i
+end
+
+module Tbl = Hashtbl.Make (Key)
+
+module StateTbl = Hashtbl.Make (struct
+  type t = State.t
+
+  let equal = State.equal
+  let hash = State.hash
+end)
+
+type termination = Prefix | Forever
+
+let tracked_channels inst =
+  List.filter_map
+    (fun (src, dst) ->
+      if dst = Instance.dest inst then None else Some (Channel.id ~src ~dst))
+    (Instance.channels inst)
+
+(* Is there a fair infinite continuation from [start] along which the path
+   assignment never changes?  Explore the subgraph of states sharing the
+   assignment and look for a strongly connected edge set that reads every
+   tracked channel and cleans every channel it drops on (as in
+   {!Oscillation}, but with constant instead of changing assignments). *)
+let fair_constant_continuation config inst model start =
+  let assignment = State.assignment inst start in
+  let module CS = Set.Make (struct
+    type t = Channel.id
+
+    let compare = Channel.compare_id
+  end) in
+  let index = StateTbl.create 64 in
+  let states = ref [] and n_states = ref 0 in
+  let intern st =
+    match StateTbl.find_opt index st with
+    | Some i -> (i, false)
+    | None ->
+      let i = !n_states in
+      StateTbl.add index st i;
+      states := st :: !states;
+      incr n_states;
+      (i, true)
+  in
+  let edges = ref [] in
+  let queue = Queue.create () in
+  let i0, _ = intern start in
+  Queue.add (i0, start) queue;
+  let quiescent_found = ref (State.is_quiescent inst start) in
+  while (not !quiescent_found) && not (Queue.is_empty queue) do
+    let i, st = Queue.pop queue in
+    List.iter
+      (fun (l : Enumerate.labeled) ->
+        let outcome = Step.apply inst st l.Enumerate.entry in
+        let st' = outcome.Step.state in
+        if
+          Channel.max_occupancy (State.channels st') <= config.Explore.channel_bound
+          && Assignment.equal (State.assignment inst st') assignment
+        then begin
+          let j, fresh = intern st' in
+          if fresh then begin
+            (* A reachable quiescent state settles the question: polling it
+               forever is a fair, assignment-preserving continuation. *)
+            if State.is_quiescent inst st' then quiescent_found := true;
+            Queue.add (j, st') queue
+          end;
+          edges := (i, j, l) :: !edges
+        end)
+      (Enumerate.successors inst model st)
+  done;
+  if !quiescent_found then true
+  else begin
+  let tracked = tracked_channels inst in
+  (* Fixpoint: drop edges with uncovered drops, split into SCCs, test. *)
+  let rec satisfiable edges =
+    if edges = [] then false
+    else begin
+      let cleans =
+        List.fold_left
+          (fun acc (_, _, (l : Enumerate.labeled)) ->
+            List.fold_left (fun acc c -> CS.add c acc) acc l.Enumerate.cleans)
+          CS.empty edges
+      in
+      let kept =
+        List.filter
+          (fun (_, _, (l : Enumerate.labeled)) ->
+            List.for_all (fun c -> CS.mem c cleans) l.Enumerate.drops)
+          edges
+      in
+      let stable = List.length kept = List.length edges in
+      let n = !n_states in
+      let adj = Array.make n [] in
+      List.iter (fun (i, j, _) -> adj.(i) <- j :: adj.(i)) kept;
+      let comp, _ = Scc.tarjan n (fun i -> adj.(i)) in
+      let internal = List.filter (fun (i, j, _) -> comp.(i) = comp.(j)) kept in
+      let by_comp = Hashtbl.create 7 in
+      List.iter
+        (fun ((i, _, _) as e) ->
+          Hashtbl.replace by_comp comp.(i)
+            (e :: Option.value ~default:[] (Hashtbl.find_opt by_comp comp.(i))))
+        internal;
+      Hashtbl.fold
+        (fun _ comp_edges found ->
+          found
+          ||
+          if stable && List.length comp_edges = List.length edges then begin
+            (* Single stable component: evaluate the fairness conditions. *)
+            let reads =
+              List.fold_left
+                (fun acc (_, _, (l : Enumerate.labeled)) ->
+                  List.fold_left (fun acc c -> CS.add c acc) acc l.Enumerate.reads)
+                CS.empty comp_edges
+            in
+            List.for_all (fun c -> CS.mem c reads) tracked
+          end
+          else satisfiable comp_edges)
+        by_comp false
+    end
+  in
+  satisfiable !edges
+  end
+
+let realizable ?(config = Explore.default_config) ?(termination = Prefix) inst model level
+    ~target =
+  let target = Array.of_list target in
+  let n = Array.length target in
+  if n = 0 then invalid_arg "Refute.realizable: empty target";
+  let assignment_of st = State.assignment inst st in
+  let init = State.initial inst in
+  if not (Assignment.equal (assignment_of init) target.(0)) then
+    invalid_arg "Refute.realizable: target must start with the initial assignment";
+  let seen = Tbl.create 1024 in
+  let parent : (Key.t * Activation.t) Tbl.t = Tbl.create 1024 in
+  (* Bucket queue keyed by target progress: exploring states that have
+     matched more of the target first finds realizations quickly, while
+     refutations still require the whole space and are unaffected. *)
+  let buckets = Array.init n (fun _ -> Queue.create ()) in
+  let queue_size = ref 0 in
+  let pruned = ref false and truncated = ref false in
+  let push ((_, i) as key : Key.t) par =
+    if not (Tbl.mem seen key) then begin
+      Tbl.replace seen key ();
+      (match par with Some p -> Tbl.replace parent key p | None -> ());
+      Queue.add key buckets.(i);
+      incr queue_size
+    end
+  in
+  let pop () =
+    let rec find i =
+      if i < 0 then None
+      else if Queue.is_empty buckets.(i) then find (i - 1)
+      else begin
+        decr queue_size;
+        Some (Queue.pop buckets.(i))
+      end
+    in
+    find (n - 1)
+  in
+  let accept = ref None in
+  let continuation_memo = StateTbl.create 16 in
+  let accepts ((st, _) as key : Key.t) =
+    match termination with
+    | Prefix -> Some key
+    | Forever ->
+      let ok =
+        match StateTbl.find_opt continuation_memo st with
+        | Some b -> b
+        | None ->
+          let b = fair_constant_continuation config inst model st in
+          StateTbl.replace continuation_memo st b;
+          b
+      in
+      if ok then Some key else None
+  in
+  push (init, 0) None;
+  if n = 1 then accept := accepts (init, 0);
+  let exhausted = ref false in
+  while !accept = None && not !exhausted do
+    if Tbl.length seen > config.Explore.max_states then begin
+      truncated := true;
+      exhausted := true
+    end
+    else begin
+      match pop () with
+      | None -> exhausted := true
+      | Some ((st, i) as key) ->
+      ignore queue_size;
+      List.iter
+        (fun (l : Enumerate.labeled) ->
+          if !accept = None then begin
+            let outcome = Step.apply inst st l.Enumerate.entry in
+            let st' = outcome.Step.state in
+            if Channel.max_occupancy (State.channels st') > config.Explore.channel_bound
+            then pruned := true
+            else begin
+              let a' = assignment_of st' in
+              let eq j = j < n && Assignment.equal a' target.(j) in
+              let moves =
+                match level with
+                | Realization.Relation.Exact -> if eq (i + 1) then [ i + 1 ] else []
+                | Realization.Relation.Repetition ->
+                  (if eq i then [ i ] else []) @ (if eq (i + 1) then [ i + 1 ] else [])
+                | Realization.Relation.Subsequence | Realization.Relation.Oscillation ->
+                  [ (if eq (i + 1) then i + 1 else i) ]
+              in
+              List.iter
+                (fun i' ->
+                  let key' = (st', i') in
+                  if not (Tbl.mem seen key') then begin
+                    push key' (Some (key, l.Enumerate.entry));
+                    if i' = n - 1 then accept := accepts key'
+                  end)
+                moves
+            end
+          end)
+        (Enumerate.successors inst model st)
+    end
+  done;
+  match !accept with
+  | Some key ->
+    let rec build acc key =
+      match Tbl.find_opt parent key with
+      | None -> acc
+      | Some (prev, entry) -> build (entry :: acc) prev
+    in
+    Realizable (build [] key)
+  | None ->
+    if !pruned then Unknown "channel bound pruned some writes"
+    else if !truncated then Unknown "state limit reached"
+    else Impossible

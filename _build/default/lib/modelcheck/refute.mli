@@ -1,0 +1,38 @@
+(** Deciding whether a model can induce a given path-assignment sequence
+    (up to a realization relation), by reachability in the product of the
+    bounded state graph with the sequence-matching automaton.
+
+    This machine-checks the paper's negative results: e.g. the REO
+    execution of Ex. A.3 is {e provably} not exactly realizable in R1O
+    (Prop. 3.10) because no R1O schedule reaches the end of the target
+    sequence, while a subsequence realization is found constructively. *)
+
+type result =
+  | Realizable of Engine.Activation.t list
+      (** a schedule of the model inducing the target (at the level asked) *)
+  | Impossible  (** exhaustive over the bounded space *)
+  | Unknown of string  (** bounded exploration was pruned or truncated *)
+
+type termination =
+  | Prefix  (** only the finite prefix must be induced *)
+  | Forever
+      (** the target is a converged limit: after its last element the
+          assignment must remain fixed under some fair continuation.  This
+          is the reading needed for Prop. 3.10 (Ex. A.3), where fairness
+          eventually forces R1O to process the queued announcement and
+          deviate. *)
+
+val realizable :
+  ?config:Explore.config ->
+  ?termination:termination ->
+  Spp.Instance.t ->
+  Engine.Model.t ->
+  Realization.Relation.level ->
+  target:Spp.Assignment.t list ->
+  result
+(** [termination] defaults to [Prefix].  [target] must include the initial
+    assignment π(0) as its first element.  For
+    {!Realization.Relation.Oscillation} the answer is about inducing the
+    target as a subsequence (the weakest per-trace reading). *)
+
+val pp_result : Format.formatter -> result -> unit

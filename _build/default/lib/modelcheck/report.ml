@@ -1,0 +1,93 @@
+open Engine
+open Spp
+
+type verdict_summary = {
+  model : Model.t;
+  verdict : string;
+  reachable_solutions : int option;
+}
+
+type t = {
+  nodes : int;
+  edges : int;
+  permitted_paths : int;
+  solutions : int;
+  dispute_wheel : Dispute.wheel option;
+  constructive : Assignment.t option;
+  verdicts : verdict_summary list;
+}
+
+let default_models =
+  List.filter_map Model.of_string [ "R1O"; "RMS"; "REA" ]
+
+(* Reports must terminate promptly on instances of any size: a modest state
+   budget turns intractable verdicts into honest "unknown"s. *)
+let default_report_config = { Explore.channel_bound = 3; max_states = 20_000 }
+
+(* Exhaustive verdicts are affordable only on small instances: the
+   per-state successor enumeration is exponential in node degree.  Larger
+   instances get fair-run evidence instead. *)
+let exhaustive_feasible inst =
+  List.length (Instance.channels inst) <= 14
+  && List.for_all (fun v -> List.length (Instance.neighbors inst v) <= 4) (Instance.nodes inst)
+
+let analyze ?(models = default_models) ?(config = default_report_config) inst =
+  let verdicts =
+    List.map
+      (fun model ->
+        if exhaustive_feasible inst then begin
+          let v = Oscillation.analyze ~config inst model in
+          let reachable =
+            match v with
+            | Oscillation.Unknown _ -> None
+            | Oscillation.Oscillates _ | Oscillation.Converges ->
+              Some (Quiescence.solution_count ~config inst model)
+          in
+          {
+            model;
+            verdict = Fmt.str "%a" Oscillation.pp_verdict v;
+            reachable_solutions = reachable;
+          }
+        end
+        else begin
+          let r = Engine.Executor.run inst (Engine.Scheduler.round_robin inst model) in
+          {
+            model;
+            verdict =
+              Fmt.str "fair round-robin run: %a (instance too large for exhaustive analysis)"
+                Engine.Executor.pp_stop r.Engine.Executor.stop;
+            reachable_solutions = None;
+          }
+        end)
+      models
+  in
+  {
+    nodes = Instance.size inst;
+    edges = List.length (Instance.edges inst);
+    permitted_paths = List.length (Instance.all_permitted inst) - 1;
+    solutions = Solver.count_solutions inst;
+    dispute_wheel = Dispute.find inst;
+    constructive = Solver.constructive inst;
+    verdicts;
+  }
+
+let to_string inst t =
+  let buf = Buffer.create 1024 in
+  let pf fmt = Fmt.kstr (Buffer.add_string buf) fmt in
+  pf "%d nodes, %d edges, %d permitted paths\n" t.nodes t.edges t.permitted_paths;
+  pf "stable solutions: %d\n" t.solutions;
+  (match t.dispute_wheel with
+  | None -> pf "dispute wheel: none (every fair execution converges in every model)\n"
+  | Some w -> pf "%a\n" (Dispute.pp_wheel inst) w);
+  (match t.constructive with
+  | Some a ->
+    pf "greedy construction succeeds: %a\n" (Assignment.pp inst) a
+  | None -> pf "greedy construction fails (instance is not dispute-wheel-free)\n");
+  List.iter
+    (fun v ->
+      pf "under %s: %s%s\n" (Model.to_string v.model) v.verdict
+        (match v.reachable_solutions with
+        | Some n -> Fmt.str "; %d reachable stable solution(s)" n
+        | None -> ""))
+    t.verdicts;
+  Buffer.contents buf

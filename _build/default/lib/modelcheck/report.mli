@@ -1,0 +1,33 @@
+(** One-stop analysis report for an SPP instance: structure, solvability,
+    dispute wheels, and per-model convergence verdicts — the summary a
+    network operator or protocol designer would ask for first. *)
+
+type verdict_summary = {
+  model : Engine.Model.t;
+  verdict : string;  (** "oscillates" / "converges" / "unknown (...)" *)
+  reachable_solutions : int option;
+      (** populated when the verdict is exhaustive *)
+}
+
+type t = {
+  nodes : int;
+  edges : int;
+  permitted_paths : int;
+  solutions : int;
+  dispute_wheel : Spp.Dispute.wheel option;
+  constructive : Spp.Assignment.t option;
+  verdicts : verdict_summary list;
+}
+
+val analyze :
+  ?models:Engine.Model.t list ->
+  ?config:Explore.config ->
+  Spp.Instance.t ->
+  t
+(** [models] defaults to the named families R1O, RMS, REA (one
+    message-passing, one queueing, one polling model).  [config] defaults
+    to a small budget (channel bound 3, 20k states) so reports terminate
+    promptly on instances of any size, reporting "unknown" where the
+    budget does not suffice. *)
+
+val to_string : Spp.Instance.t -> t -> string

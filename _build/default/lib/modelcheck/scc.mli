@@ -1,0 +1,5 @@
+(** Strongly connected components (iterative Tarjan). *)
+
+val tarjan : int -> (int -> int list) -> int array * int
+(** [tarjan n adj] returns [(comp, count)]: the component id of each node
+    (components numbered in reverse topological order) and their number. *)

@@ -1,0 +1,1 @@
+lib/realization/closure.ml: Array Buffer Engine Facts Fmt Hashtbl List Model Option Printf Relation String

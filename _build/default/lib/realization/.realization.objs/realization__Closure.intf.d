@@ -1,0 +1,1 @@
+lib/realization/closure.mli: Engine Facts

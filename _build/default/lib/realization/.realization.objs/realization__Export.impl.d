@@ -1,0 +1,1 @@
+lib/realization/export.ml: Buffer Closure Engine Filename Fmt List Model Out_channel Paper_tables Printf String Sys

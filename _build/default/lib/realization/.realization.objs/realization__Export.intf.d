@@ -1,0 +1,1 @@
+lib/realization/export.mli: Closure Engine

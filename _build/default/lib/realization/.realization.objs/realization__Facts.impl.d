@@ -1,0 +1,1 @@
+lib/realization/facts.ml: Engine List Model Option Relation

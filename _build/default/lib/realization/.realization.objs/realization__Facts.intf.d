@@ -1,0 +1,1 @@
+lib/realization/facts.mli: Engine Relation

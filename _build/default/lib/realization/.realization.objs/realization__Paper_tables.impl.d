@@ -1,0 +1,1 @@
+lib/realization/paper_tables.ml: Buffer Closure Engine Fmt List Model Option

@@ -1,0 +1,1 @@
+lib/realization/paper_tables.mli: Closure Engine Format

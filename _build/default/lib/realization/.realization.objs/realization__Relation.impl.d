@@ -1,0 +1,1 @@
+lib/realization/relation.ml: Fmt Int List

@@ -1,0 +1,1 @@
+lib/realization/seqcheck.ml: Array List Relation Spp

@@ -1,0 +1,1 @@
+lib/realization/seqcheck.mli: Relation Spp

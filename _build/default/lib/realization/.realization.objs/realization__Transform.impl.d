@@ -1,0 +1,1 @@
+lib/realization/transform.ml: Activation Channel Engine Fmt Hashtbl Instance List Model Option Path Relation Spp State Step

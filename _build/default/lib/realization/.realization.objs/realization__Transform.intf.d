@@ -1,0 +1,1 @@
+lib/realization/transform.mli: Engine Format Relation Spp

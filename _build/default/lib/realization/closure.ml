@@ -1,0 +1,246 @@
+open Engine
+
+type cell = { proven : int; disproven : int }
+
+type proof =
+  | By_fact of Facts.positive
+  | By_reflexivity
+  | By_transitivity of { mid : Model.t; lower : proof; upper : proof }
+
+type refutation =
+  | By_neg_fact of Facts.negative
+  | By_push of { via : Model.t; realization : proof; refutation : refutation }
+  | By_pull of { via : Model.t; realization : proof; refutation : refutation }
+
+type t = {
+  proven : int array array;
+  disproven : int array array;
+  proofs : proof option array array;
+  refutations : refutation option array array;
+}
+(* indexed [realized][realizer] over Model.all *)
+
+let n_models = List.length Model.all
+let index_of = Hashtbl.create 29
+
+let () =
+  List.iteri (fun i m -> Hashtbl.replace index_of (Model.to_string m) i) Model.all
+
+let idx m = Hashtbl.find index_of (Model.to_string m)
+let models = Array.of_list Model.all
+
+let derive ?(positives = Facts.positives) ?(negatives = Facts.negatives) () =
+  let proven = Array.make_matrix n_models n_models 0 in
+  let disproven = Array.make_matrix n_models n_models 5 in
+  let proofs = Array.make_matrix n_models n_models None in
+  let refutations = Array.make_matrix n_models n_models None in
+  (* Base facts + reflexivity. *)
+  for a = 0 to n_models - 1 do
+    proven.(a).(a) <- 4;
+    proofs.(a).(a) <- Some By_reflexivity
+  done;
+  List.iter
+    (fun (f : Facts.positive) ->
+      let a = idx f.Facts.realized and b = idx f.Facts.realizer in
+      let l = Relation.to_int f.Facts.level in
+      if l > proven.(a).(b) then begin
+        proven.(a).(b) <- l;
+        proofs.(a).(b) <- Some (By_fact f)
+      end)
+    positives;
+  List.iter
+    (fun (f : Facts.negative) ->
+      let a = idx f.Facts.target and b = idx f.Facts.non_realizer in
+      let l = Relation.to_int f.Facts.at_level in
+      if l < disproven.(a).(b) then begin
+        disproven.(a).(b) <- l;
+        refutations.(a).(b) <- Some (By_neg_fact f)
+      end)
+    negatives;
+  (* Fixpoint over the Sec. 3.4 rules, recording derivation trees.  The
+     children trees are snapshotted at update time, so the trees are always
+     well-founded even as cells improve later. *)
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    let bump_proven a c l why =
+      if l > proven.(a).(c) then begin
+        proven.(a).(c) <- l;
+        proofs.(a).(c) <- Some (why ());
+        changed := true
+      end
+    in
+    let bump_disproven a c l why =
+      if l < disproven.(a).(c) then begin
+        disproven.(a).(c) <- l;
+        refutations.(a).(c) <- Some (why ());
+        changed := true
+      end
+    in
+    for a = 0 to n_models - 1 do
+      for b = 0 to n_models - 1 do
+        if proven.(a).(b) > 0 then begin
+          let ab_proof () = Option.get proofs.(a).(b) in
+          for c = 0 to n_models - 1 do
+            (* positive transitivity: B realizes A (lower), C realizes B
+               (upper) => C realizes A *)
+            if proven.(b).(c) > 0 && a <> c then
+              bump_proven a c
+                (min proven.(a).(b) proven.(b).(c))
+                (fun () ->
+                  By_transitivity
+                    {
+                      mid = models.(b);
+                      lower = ab_proof ();
+                      upper = Option.get proofs.(b).(c);
+                    });
+            (* negative push: B >= A at l1, C cannot realize A at l2 <= l1
+               => C cannot realize B at l2 *)
+            if disproven.(a).(c) <= proven.(a).(b) then
+              bump_disproven b c disproven.(a).(c) (fun () ->
+                  By_push
+                    {
+                      via = models.(a);
+                      realization = ab_proof ();
+                      refutation = Option.get refutations.(a).(c);
+                    });
+            (* negative pull: C realizes A at l1 (here C = b as the
+               realizer), C cannot realize some B at l2 <= l1 => A cannot
+               realize B at l2 *)
+            if disproven.(c).(b) <= proven.(a).(b) then
+              bump_disproven c a disproven.(c).(b) (fun () ->
+                  By_pull
+                    {
+                      via = models.(b);
+                      realization = ab_proof ();
+                      refutation = Option.get refutations.(c).(b);
+                    })
+          done
+        end
+      done
+    done
+  done;
+  (* Consistency. *)
+  for a = 0 to n_models - 1 do
+    for b = 0 to n_models - 1 do
+      if proven.(a).(b) >= disproven.(a).(b) then
+        failwith
+          (Fmt.str "Closure: contradiction at (%a realized by %a): proven %d, disproven %d"
+             Model.pp models.(a) Model.pp models.(b) proven.(a).(b) disproven.(a).(b))
+    done
+  done;
+  { proven; disproven; proofs; refutations }
+
+let cell t ~realized ~realizer =
+  let a = idx realized and b = idx realizer in
+  ({ proven = t.proven.(a).(b); disproven = t.disproven.(a).(b) } : cell)
+
+let cells t =
+  List.concat_map
+    (fun realized ->
+      List.map
+        (fun realizer -> (realized, realizer, cell t ~realized ~realizer))
+        Model.all)
+    Model.all
+
+let proof t ~realized ~realizer = t.proofs.(idx realized).(idx realizer)
+let refutation t ~realized ~realizer = t.refutations.(idx realized).(idx realizer)
+
+(* ------------------------------------------------------------------ *)
+(* Rendering *)
+
+let cell_string (c : cell) =
+  if c.disproven = 1 then "-1"
+  else if c.proven = 0 && c.disproven = 5 then ""
+  else if c.proven = 0 then Printf.sprintf "<=%d" (c.disproven - 1)
+  else if c.disproven = 5 then if c.proven = 4 then "4" else Printf.sprintf ">=%d" c.proven
+  else if c.disproven = c.proven + 1 then string_of_int c.proven
+  else
+    String.concat ","
+      (List.init (c.disproven - c.proven) (fun i -> string_of_int (c.proven + i)))
+
+let render t ~realizers =
+  let buf = Buffer.create 4096 in
+  let col_width = 6 in
+  let pad s = Printf.sprintf "%*s" col_width s in
+  Buffer.add_string buf (pad "");
+  List.iter (fun m -> Buffer.add_string buf (pad (Model.to_string m))) realizers;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun realized ->
+      Buffer.add_string buf (pad (Model.to_string realized));
+      List.iter
+        (fun realizer ->
+          let s =
+            if Model.equal realized realizer then "-"
+            else cell_string (cell t ~realized ~realizer)
+          in
+          Buffer.add_string buf (pad s))
+        realizers;
+      Buffer.add_char buf '\n')
+    Model.all;
+  Buffer.contents buf
+
+let rec render_proof buf ~indent ~realized ~realizer p =
+  let pad = String.make indent ' ' in
+  match p with
+  | By_reflexivity ->
+    Buffer.add_string buf
+      (Fmt.str "%s%s realizes itself exactly\n" pad (Model.to_string realizer))
+  | By_fact f ->
+    Buffer.add_string buf
+      (Fmt.str "%s%s realizes %s %s [%s]\n" pad (Model.to_string realizer)
+         (Model.to_string realized)
+         (Relation.to_string f.Facts.level)
+         f.Facts.source)
+  | By_transitivity { mid; lower; upper } ->
+    Buffer.add_string buf
+      (Fmt.str "%s%s realizes %s via %s:\n" pad (Model.to_string realizer)
+         (Model.to_string realized) (Model.to_string mid));
+    render_proof buf ~indent:(indent + 2) ~realized ~realizer:mid lower;
+    render_proof buf ~indent:(indent + 2) ~realized:mid ~realizer upper
+
+let rec render_refutation buf ~indent ~realized ~realizer r =
+  let pad = String.make indent ' ' in
+  match r with
+  | By_neg_fact f ->
+    Buffer.add_string buf
+      (Fmt.str "%s%s cannot realize %s at level %s [%s]\n" pad
+         (Model.to_string realizer) (Model.to_string realized)
+         (Relation.to_string f.Facts.at_level)
+         f.Facts.why)
+  | By_push { via; realization; refutation } ->
+    Buffer.add_string buf
+      (Fmt.str
+         "%sif %s realized %s, composing with the realization below would contradict the refutation below (push rule, via %s):\n"
+         pad (Model.to_string realizer) (Model.to_string realized) (Model.to_string via));
+    render_proof buf ~indent:(indent + 2) ~realized:via ~realizer:realized realization;
+    render_refutation buf ~indent:(indent + 2) ~realized:via ~realizer refutation
+  | By_pull { via; realization; refutation } ->
+    Buffer.add_string buf
+      (Fmt.str
+         "%sif %s realized %s, composing with the realization below would contradict the refutation below (pull rule, via %s):\n"
+         pad (Model.to_string realizer) (Model.to_string realized) (Model.to_string via));
+    (* pull: [realizer] is realized by [via], and [via] cannot realize
+       [realized] *)
+    render_proof buf ~indent:(indent + 2) ~realized:realizer ~realizer:via realization;
+    render_refutation buf ~indent:(indent + 2) ~realized ~realizer:via refutation
+
+let explain t ~realized ~realizer =
+  let buf = Buffer.create 512 in
+  let c = cell t ~realized ~realizer in
+  Buffer.add_string buf
+    (Fmt.str "%s realized by %s: cell %S\n" (Model.to_string realized)
+       (Model.to_string realizer)
+       (if Model.equal realized realizer then "-" else cell_string c));
+  (match proof t ~realized ~realizer with
+  | Some p ->
+    Buffer.add_string buf (Fmt.str "lower bound (level %d):\n" c.proven);
+    render_proof buf ~indent:2 ~realized ~realizer p
+  | None -> Buffer.add_string buf "no realization proven\n");
+  (match refutation t ~realized ~realizer with
+  | Some r ->
+    Buffer.add_string buf (Fmt.str "upper bound (level %d disproven):\n" c.disproven);
+    render_refutation buf ~indent:2 ~realized ~realizer r
+  | None -> Buffer.add_string buf "no refutation known\n");
+  Buffer.contents buf

@@ -1,0 +1,68 @@
+(** Derivation of the full realization matrices (Figures 3 and 4) from the
+    foundational facts via the transitivity rules of Sec. 3.4.
+
+    For each ordered pair (A, B) the engine maintains the best {e proven}
+    level at which B realizes A and the weakest {e disproven} level —
+    together with full derivation trees — and closes the fact base under:
+
+    - weakening: exact ⟹ repetition ⟹ subsequence ⟹ oscillation;
+    - positive transitivity (Fig. 1): B ⊒_{l1} A and C ⊒_{l2} B imply
+      C ⊒_{min(l1,l2)} A;
+    - negative push (Fig. 2, left): B ⊒_{l1} A and C ⋢_{l2} A with
+      l1 ≥ l2 imply C ⋢_{l2} B;
+    - negative pull (Fig. 2, right): C ⊒_{l1} A and C ⋢_{l2} B with
+      l1 ≥ l2 imply A ⋢_{l2} B. *)
+
+type cell = {
+  proven : int;  (** 0 if nothing proven, else 1..4 *)
+  disproven : int;  (** 5 if nothing disproven, else weakest disproven 1..4 *)
+}
+
+(** Why a realization holds: a cited fact, reflexivity, or composition
+    through an intermediate model. *)
+type proof =
+  | By_fact of Facts.positive
+  | By_reflexivity
+  | By_transitivity of { mid : Engine.Model.t; lower : proof; upper : proof }
+      (** [lower]: mid realizes the realized model; [upper]: the realizer
+          realizes mid *)
+
+(** Why a realization is impossible. *)
+type refutation =
+  | By_neg_fact of Facts.negative
+  | By_push of { via : Engine.Model.t; realization : proof; refutation : refutation }
+      (** B ⊒ A and C ⋢ A give C ⋢ B, where [via] = A: [realization] shows
+          the realized model realizes [via], [refutation] that the realizer
+          cannot realize [via] *)
+  | By_pull of { via : Engine.Model.t; realization : proof; refutation : refutation }
+      (** C ⊒ A and C ⋢ B give A ⋢ B, where [via] = C *)
+
+type t
+
+val derive : ?positives:Facts.positive list -> ?negatives:Facts.negative list -> unit -> t
+(** Runs the closure to fixpoint (defaults to the paper's fact base).
+    Raises [Failure] if the facts become contradictory (some pair both
+    proven and disproven at a level). *)
+
+val cell : t -> realized:Engine.Model.t -> realizer:Engine.Model.t -> cell
+
+val cells : t -> (Engine.Model.t * Engine.Model.t * cell) list
+(** All (realized, realizer, cell) triples, diagonal included. *)
+
+val proof : t -> realized:Engine.Model.t -> realizer:Engine.Model.t -> proof option
+(** Derivation of the best proven level, if any. *)
+
+val refutation :
+  t -> realized:Engine.Model.t -> realizer:Engine.Model.t -> refutation option
+(** Derivation of the weakest disproven level, if any. *)
+
+val explain : t -> realized:Engine.Model.t -> realizer:Engine.Model.t -> string
+(** A human-readable account of both bounds with their derivations. *)
+
+val cell_string : cell -> string
+(** Renders a cell in the paper's notation: "4", "3", "2", "-1", ">=2",
+    "<=2", "2,3", or "" when nothing is known. *)
+
+val render : t -> realizers:Engine.Model.t list -> string
+(** An ASCII table in the layout of Figures 3/4: rows are all 24 realized
+    models, columns the given realizer models. *)

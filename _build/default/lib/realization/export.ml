@@ -1,0 +1,81 @@
+open Engine
+
+let matrix_markdown closure ~realizers ~title =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (Printf.sprintf "# %s\n\n" title);
+  Buffer.add_string buf
+    "Entry at row A, column B: B's proven ability to realize A (4 = exact,\n\
+     3 = with repetition, 2 = as a subsequence, -1 = does not preserve\n\
+     oscillations; blank = unknown).\n\n";
+  Buffer.add_string buf
+    ("| realized \\ realizer | "
+    ^ String.concat " | " (List.map Model.to_string realizers)
+    ^ " |\n");
+  Buffer.add_string buf
+    ("|---|" ^ String.concat "" (List.map (fun _ -> "---|") realizers) ^ "\n");
+  List.iter
+    (fun realized ->
+      let cells =
+        List.map
+          (fun realizer ->
+            if Model.equal realized realizer then "—"
+            else
+              match Closure.cell_string (Closure.cell closure ~realized ~realizer) with
+              | "" -> " "
+              | s -> s)
+          realizers
+      in
+      Buffer.add_string buf
+        ("| " ^ Model.to_string realized ^ " | " ^ String.concat " | " cells ^ " |\n"))
+    Model.all;
+  Buffer.contents buf
+
+let diff_markdown closure =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "# Derived matrices vs. the paper's Figures 3-4\n\n";
+  List.iter
+    (fun (v, n) ->
+      Buffer.add_string buf
+        (Fmt.str "- %a: %d cells\n" Paper_tables.pp_verdict v n))
+    (Paper_tables.tally closure);
+  let interesting =
+    List.filter (fun (_, _, _, _, v) -> v <> Paper_tables.Match) (Paper_tables.diff closure)
+  in
+  if interesting <> [] then begin
+    Buffer.add_string buf "\n## Differing cells\n\n";
+    Buffer.add_string buf "| realized | realizer | paper | derived | verdict |\n|---|---|---|---|---|\n";
+    List.iter
+      (fun (realized, realizer, (e : Paper_tables.constr), (c : Closure.cell), v) ->
+        Buffer.add_string buf
+          (Fmt.str "| %a | %a | [%d..%d] | [%d..%d] | %a |\n" Model.pp realized Model.pp
+             realizer e.Paper_tables.lo e.Paper_tables.hi c.Closure.proven
+             (c.Closure.disproven - 1) Paper_tables.pp_verdict v))
+      interesting;
+    Buffer.add_string buf "\n## Derivations of the sharpened cells\n\n";
+    List.iter
+      (fun (realized, realizer, _, _, v) ->
+        if v = Paper_tables.Stronger then begin
+          Buffer.add_string buf "```\n";
+          Buffer.add_string buf (Closure.explain closure ~realized ~realizer);
+          Buffer.add_string buf "```\n\n"
+        end)
+      interesting
+  end;
+  Buffer.contents buf
+
+let write_all closure ~dir =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let write name content =
+    let path = Filename.concat dir name in
+    Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc content);
+    path
+  in
+  [
+    write "fig3.md"
+      (matrix_markdown closure ~realizers:Model.reliable
+         ~title:"Figure 3: realization by reliable-channel models");
+    write "fig4.md"
+      (matrix_markdown closure ~realizers:Model.unreliable
+         ~title:"Figure 4: realization by unreliable-channel models");
+    write "diff.md" (diff_markdown closure);
+  ]

@@ -1,0 +1,13 @@
+(** Export of the derived realization matrices as Markdown, for inclusion
+    in reports and for diffing against the paper's figures. *)
+
+val matrix_markdown :
+  Closure.t -> realizers:Engine.Model.t list -> title:string -> string
+(** A Markdown table in the layout of Figures 3/4. *)
+
+val diff_markdown : Closure.t -> string
+(** The agreement summary and per-cell differences as Markdown. *)
+
+val write_all : Closure.t -> dir:string -> string list
+(** Writes [fig3.md], [fig4.md] and [diff.md] into [dir] (created if
+    missing) and returns the paths. *)

@@ -1,0 +1,109 @@
+open Engine
+
+type positive = {
+  realizer : Model.t;
+  realized : Model.t;
+  level : Relation.level;
+  source : string;
+}
+
+type negative = {
+  non_realizer : Model.t;
+  target : Model.t;
+  at_level : Relation.level;
+  why : string;
+}
+
+let m s = Option.get (Model.of_string s)
+
+let positives =
+  (* Prop. 3.3: syntactic inclusions give exact realization.  Rather than
+     enumerating the four clauses we state the general observation they all
+     instantiate: whenever every activation sequence of A is legal in B, B
+     realizes A exactly.  [Model.includes] captures precisely the paper's
+     four clauses and their compositions. *)
+  let inclusions =
+    List.concat_map
+      (fun realized ->
+        List.filter_map
+          (fun realizer ->
+            if (not (Model.equal realizer realized)) && Model.includes realizer realized
+            then
+              Some
+                { realizer; realized; level = Relation.Exact; source = "Prop. 3.3" }
+            else None)
+          Model.all)
+      Model.all
+  in
+  let per_rel f = List.map f [ Model.Reliable; Model.Unreliable ] in
+  let per_rel_msg f =
+    List.concat_map
+      (fun rel ->
+        List.map (fun msg -> f rel msg)
+          [ Model.M_one; Model.M_some; Model.M_forced; Model.M_all ])
+      [ Model.Reliable; Model.Unreliable ]
+  in
+  let widenings =
+    per_rel (fun rel ->
+        {
+          realizer = Model.make rel Model.N_every Model.M_some;
+          realized = Model.make rel Model.N_multi Model.M_some;
+          level = Relation.Exact;
+          source = "Prop. 3.4";
+        })
+  in
+  let splittings =
+    per_rel_msg (fun rel msg ->
+        {
+          realizer = Model.make rel Model.N_one msg;
+          realized = Model.make rel Model.N_multi msg;
+          level = Relation.Repetition;
+          source = "Thm. 3.5";
+        })
+  in
+  let serializations =
+    [
+      {
+        realizer = m "R1O";
+        realized = m "R1S";
+        level = Relation.Subsequence;
+        source = "Prop. 3.6";
+      };
+      {
+        realizer = m "U1O";
+        realized = m "U1S";
+        level = Relation.Repetition;
+        source = "Prop. 3.6";
+      };
+      {
+        realizer = m "R1S";
+        realized = m "U1O";
+        level = Relation.Exact;
+        source = "Thm. 3.7";
+      };
+    ]
+  in
+  inclusions @ widenings @ splittings @ serializations
+
+let negatives =
+  let osc non_realizer target why =
+    { non_realizer = m non_realizer; target = m target; at_level = Relation.Oscillation; why }
+  in
+  let no_at level non_realizer target why =
+    { non_realizer = m non_realizer; target = m target; at_level = level; why }
+  in
+  (* Thm. 3.8 (Ex. A.1, DISAGREE) *)
+  List.map
+    (fun b -> osc b "R1O" "Thm. 3.8 (Ex. A.1)")
+    [ "REO"; "REF"; "R1A"; "RMA"; "REA" ]
+  (* Thm. 3.9 (Ex. A.2, Fig. 6) *)
+  @ List.concat_map
+      (fun b ->
+        List.map (fun a -> osc b a "Thm. 3.9 (Ex. A.2)") [ "REO"; "REF" ])
+      [ "R1A"; "RMA"; "REA" ]
+  @ [
+      no_at Relation.Exact "R1O" "REO" "Prop. 3.10 (Ex. A.3)";
+      no_at Relation.Repetition "R1O" "REA" "Prop. 3.11 (Ex. A.4)";
+      no_at Relation.Exact "R1S" "REA" "Prop. 3.12 (Ex. A.5)";
+      no_at Relation.Exact "R1S" "REO" "Prop. 3.13 (Ex. A.5)";
+    ]

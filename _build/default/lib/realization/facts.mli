@@ -1,0 +1,26 @@
+(** The paper's foundational realization results (Sec. 3.2–3.3) as a fact
+    base for the {!Closure} derivation engine. *)
+
+type positive = {
+  realizer : Engine.Model.t;  (** the model B doing the realizing *)
+  realized : Engine.Model.t;  (** the model A being realized *)
+  level : Relation.level;
+  source : string;  (** citation, e.g. "Prop. 3.3(1)" *)
+}
+
+type negative = {
+  non_realizer : Engine.Model.t;  (** B, which cannot realize A... *)
+  target : Engine.Model.t;  (** ...the model A *)
+  at_level : Relation.level;  (** ...at this level (hence at any stronger) *)
+  why : string;
+}
+
+val positives : positive list
+(** Props. 3.3, 3.4, 3.6; Thms. 3.5, 3.7 — instantiated over all
+    applicable models (63 syntactic inclusions, 2 widenings, 8 splittings,
+    2 serializations, 1 coalescing). *)
+
+val negatives : negative list
+(** Thms. 3.8, 3.9 (oscillation non-preservation) and Props. 3.10–3.13
+    (non-realizability at exact/repetition levels), witnessed by
+    Examples A.1–A.5. *)

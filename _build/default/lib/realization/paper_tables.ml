@@ -1,0 +1,151 @@
+open Engine
+
+type constr = { lo : int; hi : int }
+
+let parse_cell s =
+  match s with
+  | "" -> Some { lo = 0; hi = 4 }
+  | "-" -> None (* diagonal *)
+  | "-1" -> Some { lo = 0; hi = 0 }
+  | "2" -> Some { lo = 2; hi = 2 }
+  | "3" -> Some { lo = 3; hi = 3 }
+  | "4" -> Some { lo = 4; hi = 4 }
+  | "2,3" -> Some { lo = 2; hi = 3 }
+  | ">=2" -> Some { lo = 2; hi = 4 }
+  | ">=3" -> Some { lo = 3; hi = 4 }
+  | "<=2" -> Some { lo = 0; hi = 2 }
+  | "<=3" -> Some { lo = 0; hi = 3 }
+  | _ -> invalid_arg ("Paper_tables: unknown cell " ^ s)
+
+let combine realized cols cells =
+  List.filter_map
+    (fun (realizer, cell) ->
+      match parse_cell cell with
+      | Some c -> Some (realized, realizer, c)
+      | None -> None)
+    (List.combine cols cells)
+
+let table columns rows =
+  let cols = List.map (fun s -> Option.get (Model.of_string s)) columns in
+  if List.length rows <> List.length Model.all then
+    invalid_arg "Paper_tables: wrong row count";
+  List.concat (List.map2 (fun realized cells -> combine realized cols cells) Model.all rows)
+
+let reliable_columns =
+  [ "R1O"; "RMO"; "REO"; "R1S"; "RMS"; "RES"; "R1F"; "RMF"; "REF"; "R1A"; "RMA"; "REA" ]
+
+let unreliable_columns =
+  [ "U1O"; "UMO"; "UEO"; "U1S"; "UMS"; "UES"; "U1F"; "UMF"; "UEF"; "U1A"; "UMA"; "UEA" ]
+
+let fig3 =
+  table reliable_columns
+    [
+      (* R1O *) [ "-"; "4"; "-1"; "4"; "4"; "4"; "4"; "4"; "-1"; "-1"; "-1"; "-1" ];
+      (* RMO *) [ "3"; "-"; "-1"; "3"; "4"; "4"; "3"; "4"; "-1"; "-1"; "-1"; "-1" ];
+      (* REO *) [ "3"; "4"; "-"; "3"; "4"; "4"; "3"; "4"; "4"; "-1"; "-1"; "-1" ];
+      (* R1S *) [ "2"; "2"; "-1"; "-"; "4"; "4"; ">=2"; ">=2"; "-1"; "-1"; "-1"; "-1" ];
+      (* RMS *) [ "2"; "2"; "-1"; "3"; "-"; "4"; "2,3"; ">=2"; "-1"; "-1"; "-1"; "-1" ];
+      (* RES *) [ "2"; "2"; "-1"; "3"; "4"; "-"; "2,3"; ">=2"; "-1"; "-1"; "-1"; "-1" ];
+      (* R1F *) [ "2"; "2"; "-1"; "4"; "4"; "4"; "-"; "4"; "-1"; "-1"; "-1"; "-1" ];
+      (* RMF *) [ "2"; "2"; "-1"; "3"; "4"; "4"; "3"; "-"; "-1"; "-1"; "-1"; "-1" ];
+      (* REF *) [ "2"; "2"; "<=2"; "3"; "4"; "4"; "3"; "4"; "-"; "-1"; "-1"; "-1" ];
+      (* R1A *) [ "2"; "2"; "<=2"; "4"; "4"; "4"; "4"; "4"; ""; "-"; "4"; "" ];
+      (* RMA *) [ "2"; "2"; "<=2"; "3"; "4"; "4"; "3"; "4"; ""; "3"; "-"; "" ];
+      (* REA *) [ "2"; "2"; "<=2"; "3"; "4"; "4"; "3"; "4"; "4"; "3"; "4"; "-" ];
+      (* U1O *) [ ">=2"; ">=2"; "-1"; "4"; "4"; "4"; ">=2"; ">=2"; "-1"; "-1"; "-1"; "-1" ];
+      (* UMO *) [ "2,3"; ">=2"; "-1"; "3"; ">=3"; ">=3"; "2,3"; ">=2"; "-1"; "-1"; "-1"; "-1" ];
+      (* UEO *) [ "2,3"; ">=2"; ""; "3"; ">=3"; ">=3"; "2,3"; ">=2"; ""; "-1"; "-1"; "-1" ];
+      (* U1S *) [ "2"; "2"; "-1"; ">=3"; ">=3"; ">=3"; ">=2"; ">=2"; "-1"; "-1"; "-1"; "-1" ];
+      (* UMS *) [ "2"; "2"; "-1"; "3"; ">=3"; ">=3"; "2,3"; ">=2"; "-1"; "-1"; "-1"; "-1" ];
+      (* UES *) [ "2"; "2"; "-1"; "3"; ">=3"; ">=3"; "2,3"; ">=2"; "-1"; "-1"; "-1"; "-1" ];
+      (* U1F *) [ "2"; "2"; "-1"; ">=3"; ">=3"; ">=3"; ">=2"; ">=2"; "-1"; "-1"; "-1"; "-1" ];
+      (* UMF *) [ "2"; "2"; "-1"; "3"; ">=3"; ">=3"; "2,3"; ">=2"; "-1"; "-1"; "-1"; "-1" ];
+      (* UEF *) [ "2"; "2"; "<=2"; "3"; ">=3"; ">=3"; "2,3"; ">=2"; ""; "-1"; "-1"; "-1" ];
+      (* U1A *) [ "2"; "2"; "<=2"; ">=3"; ">=3"; ">=3"; ">=2"; ">=2"; ""; ""; ""; "" ];
+      (* UMA *) [ "2"; "2"; "<=2"; "3"; ">=3"; ">=3"; "2,3"; ">=2"; ""; "<=3"; ""; "" ];
+      (* UEA *) [ "2"; "2"; "<=2"; "3"; ">=3"; ">=3"; "2,3"; ">=2"; ""; "<=3"; ""; "" ];
+    ]
+
+let fig4 =
+  table unreliable_columns
+    [
+      (* R1O *) [ "4"; "4"; ""; "4"; "4"; "4"; "4"; "4"; ""; ""; ""; "" ];
+      (* RMO *) [ "3"; "4"; ""; ">=3"; "4"; "4"; ">=3"; "4"; ""; ""; ""; "" ];
+      (* REO *) [ "3"; "4"; "4"; ">=3"; "4"; "4"; ">=3"; "4"; "4"; ""; ""; "" ];
+      (* R1S *) [ ">=3"; ">=3"; ""; "4"; "4"; "4"; ">=3"; ">=3"; ""; ""; ""; "" ];
+      (* RMS *) [ "3"; ">=3"; ""; ">=3"; "4"; "4"; ">=3"; ">=3"; ""; ""; ""; "" ];
+      (* RES *) [ "3"; ">=3"; ""; ">=3"; "4"; "4"; ">=3"; ">=3"; ""; ""; ""; "" ];
+      (* R1F *) [ ">=3"; ">=3"; ""; "4"; "4"; "4"; "4"; "4"; ""; ""; ""; "" ];
+      (* RMF *) [ "3"; ">=3"; ""; ">=3"; "4"; "4"; ">=3"; "4"; ""; ""; ""; "" ];
+      (* REF *) [ "3"; ">=3"; ""; ">=3"; "4"; "4"; ">=3"; "4"; "4"; ""; ""; "" ];
+      (* R1A *) [ ">=3"; ">=3"; ""; "4"; "4"; "4"; "4"; "4"; ""; "4"; "4"; "" ];
+      (* RMA *) [ "3"; ">=3"; ""; ">=3"; "4"; "4"; ">=3"; "4"; ""; ">=3"; "4"; "" ];
+      (* REA *) [ "3"; ">=3"; ""; ">=3"; "4"; "4"; ">=3"; "4"; "4"; ">=3"; "4"; "4" ];
+      (* U1O *) [ "-"; "4"; ""; "4"; "4"; "4"; "4"; "4"; ""; ""; ""; "" ];
+      (* UMO *) [ "3"; "-"; ""; ">=3"; "4"; "4"; ">=3"; "4"; ""; ""; ""; "" ];
+      (* UEO *) [ "3"; "4"; "-"; ">=3"; "4"; "4"; ">=3"; "4"; "4"; ""; ""; "" ];
+      (* U1S *) [ ">=3"; ">=3"; ""; "-"; "4"; "4"; ">=3"; ">=3"; ""; ""; ""; "" ];
+      (* UMS *) [ "3"; ">=3"; ""; ">=3"; "-"; "4"; ">=3"; ">=3"; ""; ""; ""; "" ];
+      (* UES *) [ "3"; ">=3"; ""; ">=3"; "4"; "-"; ">=3"; ">=3"; ""; ""; ""; "" ];
+      (* U1F *) [ ">=3"; ">=3"; ""; "4"; "4"; "4"; "-"; "4"; ""; ""; ""; "" ];
+      (* UMF *) [ "3"; ">=3"; ""; ">=3"; "4"; "4"; ">=3"; "-"; ""; ""; ""; "" ];
+      (* UEF *) [ "3"; ">=3"; ""; ">=3"; "4"; "4"; ">=3"; "4"; "-"; ""; ""; "" ];
+      (* U1A *) [ ">=3"; ">=3"; ""; "4"; "4"; "4"; "4"; "4"; ""; "-"; "4"; "" ];
+      (* UMA *) [ "3"; ">=3"; ""; ">=3"; "4"; "4"; ">=3"; "4"; ""; ">=3"; "-"; "" ];
+      (* UEA *) [ "3"; ">=3"; ""; ">=3"; "4"; "4"; ">=3"; "4"; "4"; ">=3"; "4"; "-" ];
+    ]
+
+type verdict = Match | Weaker | Stronger | Contradiction
+
+let pp_verdict ppf v =
+  Fmt.string ppf
+    (match v with
+    | Match -> "match"
+    | Weaker -> "weaker"
+    | Stronger -> "stronger"
+    | Contradiction -> "CONTRADICTION")
+
+let compare_cell ~expected (c : Closure.cell) =
+  let dlo = c.Closure.proven and dhi = c.Closure.disproven - 1 in
+  if dlo > expected.hi || dhi < expected.lo then Contradiction
+  else if dlo = expected.lo && dhi = expected.hi then Match
+  else if dlo >= expected.lo && dhi <= expected.hi then Stronger
+  else if dlo <= expected.lo && dhi >= expected.hi then Weaker
+  else
+    (* Mixed: tighter on one bound, looser on the other. *)
+    Stronger
+
+let diff closure =
+  List.map
+    (fun (realized, realizer, expected) ->
+      let cell = Closure.cell closure ~realized ~realizer in
+      (realized, realizer, expected, cell, compare_cell ~expected cell))
+    (fig3 @ fig4)
+
+let tally closure =
+  let d = diff closure in
+  List.map
+    (fun v -> (v, List.length (List.filter (fun (_, _, _, _, v') -> v' = v) d)))
+    [ Match; Weaker; Stronger; Contradiction ]
+
+let summary closure =
+  let buf = Buffer.create 1024 in
+  let t = tally closure in
+  Buffer.add_string buf "Derived matrix vs. paper Figures 3-4 (552 off-diagonal cells):\n";
+  List.iter
+    (fun (v, n) -> Buffer.add_string buf (Fmt.str "  %a: %d\n" pp_verdict v n))
+    t;
+  let interesting =
+    List.filter (fun (_, _, _, _, v) -> v <> Match) (diff closure)
+  in
+  if interesting <> [] then begin
+    Buffer.add_string buf "Cells differing from the paper:\n";
+    List.iter
+      (fun (realized, realizer, e, c, v) ->
+        Buffer.add_string buf
+          (Fmt.str "  %a realized-by %a: paper [%d..%d], derived [%d..%d] (%a)\n"
+             Model.pp realized Model.pp realizer e.lo e.hi c.Closure.proven
+             (c.Closure.disproven - 1) pp_verdict v))
+      interesting
+  end;
+  Buffer.contents buf

@@ -1,0 +1,34 @@
+(** Figures 3 and 4 of the paper, transcribed verbatim, and comparison of
+    the {!Closure}-derived matrices against them. *)
+
+type constr = {
+  lo : int;  (** best level the paper proves (0 = nothing proven) *)
+  hi : int;  (** weakest level the paper does not disprove (4 = nothing
+                 disproven; 0 = the "-1" cells) *)
+}
+
+val fig3 : (Engine.Model.t * Engine.Model.t * constr) list
+(** (realized, realizer, constraint) for every off-diagonal cell of Fig. 3
+    (realizers are the 12 reliable models). *)
+
+val fig4 : (Engine.Model.t * Engine.Model.t * constr) list
+(** Same for Fig. 4 (realizers are the 12 unreliable models). *)
+
+type verdict =
+  | Match  (** derived bounds equal the paper's *)
+  | Weaker  (** derived bounds are looser (we prove/disprove less) *)
+  | Stronger  (** derived bounds are tighter than the paper's *)
+  | Contradiction  (** derived facts contradict the paper *)
+
+val pp_verdict : Format.formatter -> verdict -> unit
+
+val compare_cell : expected:constr -> Closure.cell -> verdict
+
+val diff :
+  Closure.t ->
+  (Engine.Model.t * Engine.Model.t * constr * Closure.cell * verdict) list
+(** Both figures' cells compared against the derived matrix. *)
+
+val tally : Closure.t -> (verdict * int) list
+val summary : Closure.t -> string
+(** Human-readable agreement report for the bench harness. *)

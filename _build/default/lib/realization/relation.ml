@@ -1,0 +1,24 @@
+type level = Oscillation | Subsequence | Repetition | Exact
+
+let to_int = function Oscillation -> 1 | Subsequence -> 2 | Repetition -> 3 | Exact -> 4
+
+let of_int = function
+  | 1 -> Some Oscillation
+  | 2 -> Some Subsequence
+  | 3 -> Some Repetition
+  | 4 -> Some Exact
+  | _ -> None
+
+let compare a b = Int.compare (to_int a) (to_int b)
+let min_level a b = if compare a b <= 0 then a else b
+
+let weaker l =
+  List.filter (fun l' -> compare l' l <= 0) [ Exact; Repetition; Subsequence; Oscillation ]
+
+let to_string = function
+  | Oscillation -> "oscillation-preserving"
+  | Subsequence -> "subsequence"
+  | Repetition -> "repetition"
+  | Exact -> "exact"
+
+let pp ppf l = Fmt.string ppf (to_string l)

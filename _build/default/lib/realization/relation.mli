@@ -1,0 +1,21 @@
+(** Realization relations between communication models (Sec. 3.1).
+
+    The four levels form a chain: exact realization implies realization with
+    repetition, which implies realization as a subsequence, which implies
+    oscillation preservation. *)
+
+type level =
+  | Oscillation  (** oscillation preservation (Def. 3.1); numeric value 1 *)
+  | Subsequence  (** realization as a subsequence; 2 *)
+  | Repetition  (** exact realization with repetition; 3 *)
+  | Exact  (** exact realization; 4 *)
+
+val to_int : level -> int
+val of_int : int -> level option
+val compare : level -> level -> int
+val min_level : level -> level -> level
+val weaker : level -> level list
+(** All levels implied by the given one, strongest first (including it). *)
+
+val pp : Format.formatter -> level -> unit
+val to_string : level -> string

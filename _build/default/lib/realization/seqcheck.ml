@@ -1,0 +1,41 @@
+let is_exact ~original ~realized =
+  List.length original = List.length realized
+  && List.for_all2 Spp.Assignment.equal original realized
+
+(* DP over (i, j): can realized[0..j) be split into blocks spelling
+   original[0..i)?  Block boundaries are ambiguous when consecutive original
+   elements are equal, hence the dynamic program rather than a greedy scan. *)
+let is_repetition ~original ~realized =
+  let orig = Array.of_list original and real = Array.of_list realized in
+  let n = Array.length orig and m = Array.length real in
+  if n = 0 then m = 0
+  else begin
+    let reachable = Array.make_matrix (n + 1) (m + 1) false in
+    reachable.(0).(0) <- true;
+    for i = 1 to n do
+      for j = 1 to m do
+        if Spp.Assignment.equal real.(j - 1) orig.(i - 1) then
+          (* either this extends the current block (i, j-1) or starts the
+             block for original element i (i-1, j-1) *)
+          reachable.(i).(j) <- reachable.(i).(j - 1) || reachable.(i - 1).(j - 1)
+      done
+    done;
+    reachable.(n).(m)
+  end
+
+let is_subsequence ~original ~realized =
+  let rec loop orig real =
+    match (orig, real) with
+    | [], _ -> true
+    | _, [] -> false
+    | o :: orest, r :: rrest ->
+      if Spp.Assignment.equal o r then loop orest rrest else loop orig rrest
+  in
+  loop original realized
+
+let check level ~original ~realized =
+  match level with
+  | Relation.Exact -> is_exact ~original ~realized
+  | Relation.Repetition -> is_repetition ~original ~realized
+  | Relation.Subsequence -> is_subsequence ~original ~realized
+  | Relation.Oscillation -> true

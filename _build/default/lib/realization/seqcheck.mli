@@ -1,0 +1,28 @@
+(** Finite-trace checkers for the realization relations of Def. 3.2.
+
+    Both sequences should include the initial assignment π(0) so that a
+    transformed execution that begins with no-op steps still matches. *)
+
+val is_exact : original:Spp.Assignment.t list -> realized:Spp.Assignment.t list -> bool
+(** Same length and pointwise equal. *)
+
+val is_repetition :
+  original:Spp.Assignment.t list -> realized:Spp.Assignment.t list -> bool
+(** [realized] consists of consecutive non-empty blocks of equal assignments
+    whose block values spell out [original] (exact realization with
+    repetition).  A trailing incomplete suffix of [original] is not
+    accepted: every original element must be covered. *)
+
+val is_subsequence :
+  original:Spp.Assignment.t list -> realized:Spp.Assignment.t list -> bool
+(** [original] is a (not necessarily contiguous) subsequence of
+    [realized]. *)
+
+val check :
+  Relation.level ->
+  original:Spp.Assignment.t list ->
+  realized:Spp.Assignment.t list ->
+  bool
+(** Dispatch on the level; {!Relation.Oscillation} is not a per-trace
+    property and always returns [true] here (use the model checker for
+    oscillation claims). *)

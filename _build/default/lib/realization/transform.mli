@@ -1,0 +1,56 @@
+(** Constructive realization transforms: executable versions of the
+    positive proofs of Sec. 3.2.
+
+    Each rule maps a finite activation sequence that is legal in its source
+    model to one legal in its target model whose induced path-assignment
+    sequence relates to the original at the rule's level (checkable with
+    {!Seqcheck}). *)
+
+type rule =
+  | Embed
+      (** Prop. 3.3: the target model syntactically includes the source;
+          the sequence is reused verbatim.  Exact. *)
+  | Widen_multi_to_every
+      (** Prop. 3.4 (wMS → wES): pad each entry with zero-message reads of
+          the missing channels.  Exact. *)
+  | Split_multi_to_one
+      (** Thm. 3.5 (wMy → w1y): split each entry into one step per channel,
+          processing first the channel supporting the newly chosen route and
+          last the channel supporting the previous one.  Repetition. *)
+  | Serialize_r1s_to_r1o
+      (** Prop. 3.6 (R1S → R1O): replace each k-message read by k
+          single-message reads.  Subsequence. *)
+  | Serialize_u1s_to_u1o
+      (** Prop. 3.6 (U1S → U1O): replace each read by single-message reads
+          that drop everything except the message the source actually kept.
+          Repetition. *)
+  | Coalesce_u1o_to_r1s
+      (** Thm. 3.7 (U1O → R1S): turn dropped reads into zero-message reads
+          and charge the skipped messages to the next undropped read.
+          Exact. *)
+
+val pp_rule : Format.formatter -> rule -> unit
+
+val rule_level : rule -> Relation.level
+
+type edge = { rule : rule; source : Engine.Model.t; target : Engine.Model.t }
+
+val edges : edge list
+(** Every applicable (rule, source, target) triple over the 24 models. *)
+
+val apply_edge : edge -> Spp.Instance.t -> Engine.Activation.t list -> Engine.Activation.t list
+(** Transforms a source-legal sequence into a target-legal one.  Rules that
+    need run-time information (message counts, chosen routes) simulate the
+    source execution internally. *)
+
+type path = edge list
+(** A chain of edges; the composite level is the minimum of the rules'. *)
+
+val path_level : path -> Relation.level
+
+val route : source:Engine.Model.t -> target:Engine.Model.t -> path option
+(** A strongest-level chain of constructive edges from [source] to [target]
+    (i.e. a constructive witness that [target] realizes [source]), if one
+    exists. *)
+
+val apply_path : path -> Spp.Instance.t -> Engine.Activation.t list -> Engine.Activation.t list

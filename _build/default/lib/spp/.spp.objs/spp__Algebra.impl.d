@@ -1,0 +1,1 @@
+lib/spp/algebra.ml: Array Fun Instance List Path

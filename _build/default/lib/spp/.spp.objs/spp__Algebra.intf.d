@@ -1,0 +1,1 @@
+lib/spp/algebra.mli: Instance Path

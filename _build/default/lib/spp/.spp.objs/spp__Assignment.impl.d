@@ -1,0 +1,1 @@
+lib/spp/assignment.ml: Array Fmt Instance List Path Stdlib

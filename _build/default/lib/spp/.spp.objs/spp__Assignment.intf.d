@@ -1,0 +1,1 @@
+lib/spp/assignment.mli: Format Instance Path

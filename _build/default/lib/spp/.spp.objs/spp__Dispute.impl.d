@@ -1,0 +1,1 @@
+lib/spp/dispute.ml: Fmt Instance List Map Option Path

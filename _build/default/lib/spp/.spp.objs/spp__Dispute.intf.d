@@ -1,0 +1,1 @@
+lib/spp/dispute.mli: Format Instance Path

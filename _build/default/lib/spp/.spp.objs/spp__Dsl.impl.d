@@ -1,0 +1,1 @@
+lib/spp/dsl.ml: Array Buffer In_channel Instance List Path Printf Result String

@@ -1,0 +1,1 @@
+lib/spp/dsl.mli: Instance

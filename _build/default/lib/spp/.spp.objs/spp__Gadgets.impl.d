@@ -1,0 +1,1 @@
+lib/spp/gadgets.ml: Array Instance List Path Printf String

@@ -1,0 +1,1 @@
+lib/spp/generator.ml: Array Instance List Printf Random

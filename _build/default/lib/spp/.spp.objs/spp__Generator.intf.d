@@ -1,0 +1,1 @@
+lib/spp/generator.mli: Instance

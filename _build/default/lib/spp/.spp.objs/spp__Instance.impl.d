@@ -1,0 +1,1 @@
+lib/spp/instance.ml: Array Fmt Fun List Path String

@@ -1,0 +1,1 @@
+lib/spp/instance.mli: Format Path

@@ -1,0 +1,1 @@
+lib/spp/path.ml: Array Fmt Hashtbl List Stdlib

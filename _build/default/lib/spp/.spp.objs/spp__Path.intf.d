@@ -1,0 +1,1 @@
+lib/spp/path.mli: Format

@@ -1,0 +1,1 @@
+lib/spp/solver.ml: Array Assignment Instance List Option Path

@@ -1,0 +1,141 @@
+type 'w algebra = {
+  name : string;
+  extend : label:int -> 'w -> 'w option;
+  origin : 'w;
+  prefer : 'w -> 'w -> int;
+}
+
+type labeled_graph = {
+  names : string array;
+  dest : Path.node;
+  links : (Path.node * Path.node * int * int) list;
+}
+
+(* Weight of a path under an algebra, folding from the destination end;
+   [label u v] is the label used when u extends a path beginning at v. *)
+let weight_of alg ~label path =
+  let rec fold = function
+    | [] -> None
+    | [ _ ] -> Some alg.origin
+    | u :: (v :: _ as rest) -> (
+      match fold rest with
+      | None -> None
+      | Some w -> alg.extend ~label:(label u v) w)
+  in
+  fold path
+
+let compile ?max_len alg g =
+  let n = Array.length g.names in
+  let max_len = match max_len with Some m -> m | None -> n in
+  let labels = Array.make_matrix n n None in
+  let adj = Array.make n [] in
+  List.iter
+    (fun (u, v, luv, lvu) ->
+      if u < 0 || u >= n || v < 0 || v >= n || u = v then
+        invalid_arg "Algebra.compile: bad link";
+      labels.(u).(v) <- Some luv;
+      labels.(v).(u) <- Some lvu;
+      adj.(u) <- v :: adj.(u);
+      adj.(v) <- u :: adj.(v))
+    g.links;
+  let label u v =
+    match labels.(u).(v) with
+    | Some l -> l
+    | None -> invalid_arg "Algebra.compile: missing label"
+  in
+  let paths_of v =
+    let acc = ref [] in
+    let rec explore path u len =
+      if u = g.dest then acc := List.rev path :: !acc
+      else if len < max_len then
+        List.iter
+          (fun w -> if not (List.mem w path) then explore (w :: path) w (len + 1))
+          adj.(u)
+    in
+    explore [ v ] v 0;
+    !acc
+  in
+  let permitted =
+    List.filter_map
+      (fun v ->
+        if v = g.dest then None
+        else begin
+          let weighted =
+            List.filter_map
+              (fun p ->
+                match weight_of alg ~label p with
+                | Some w -> Some (p, w)
+                | None -> None)
+              (paths_of v)
+          in
+          let sorted =
+            List.sort
+              (fun (p, w) (q, w') ->
+                let c = alg.prefer w w' in
+                if c <> 0 then c else compare p q)
+              weighted
+          in
+          Some (v, List.map fst sorted)
+        end)
+      (List.init n Fun.id)
+  in
+  Instance.make ~names:g.names ~dest:g.dest
+    ~edges:(List.map (fun (u, v, _, _) -> (u, v)) g.links)
+    ~permitted
+
+(* ------------------------------------------------------------------ *)
+(* Stock algebras *)
+
+let shortest_paths =
+  {
+    name = "shortest-paths";
+    extend = (fun ~label w -> Some (label + w));
+    origin = 0;
+    prefer = compare;
+  }
+
+let widest_paths =
+  {
+    name = "widest-paths";
+    extend = (fun ~label w -> Some (min label w));
+    origin = max_int;
+    prefer = (fun a b -> compare b a);
+  }
+
+let label_customer = 0
+let label_peer = 1
+let label_provider = 2
+
+(* Weights encode (route class, hop count); class 0 = customer (and the
+   origin), 1 = peer, 2 = provider.  Extension is defined exactly when the
+   current holder would export: customer routes go to everyone, peer and
+   provider routes only to customers (i.e. when the extender's label says
+   its neighbor is its provider). *)
+let gao_rexford =
+  {
+    name = "gao-rexford";
+    extend =
+      (fun ~label w ->
+        let cls = w / 256 and hops = w mod 256 in
+        if hops >= 255 then None
+        else if cls = 0 || label = label_provider then
+          Some ((label * 256) + hops + 1)
+        else None);
+    origin = 0;
+    prefer = compare;
+  }
+
+let lex ~name a b =
+  {
+    name;
+    extend =
+      (fun ~label (wa, wb) ->
+        match (a.extend ~label wa, b.extend ~label wb) with
+        | Some wa', Some wb' -> Some (wa', wb')
+        | _ -> None);
+    origin = (a.origin, b.origin);
+    prefer =
+      (fun (xa, xb) (ya, yb) ->
+        let c = a.prefer xa ya in
+        if c <> 0 then c else b.prefer xb yb);
+  }

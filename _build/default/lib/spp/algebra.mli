@@ -1,0 +1,61 @@
+(** Routing algebras compiled to SPP instances.
+
+    The paper situates its results in the line of work on algebraic
+    routing (Sobrinho's dynamic-routing algebra, Griffin–Sobrinho
+    metarouting, refs. [10, 17]): a policy language is an algebra of edge
+    labels and path weights, and a concrete network instantiates it.  This
+    module provides the compilation: given a labeled graph and an algebra,
+    enumerate the supported paths, rank them by weight preference, and
+    obtain an ordinary {!Instance.t} that every tool in this repository
+    (engine, model checker, realization transforms) accepts.
+
+    Monotone algebras (extension never improves preference) compile to
+    dispute-wheel-free instances, hence converge in every communication
+    model; the tests check this empirically. *)
+
+type 'w algebra = {
+  name : string;
+  extend : label:int -> 'w -> 'w option;
+      (** weight of [edge ⊗ path]; [None] = path not supported *)
+  origin : 'w;  (** weight of the trivial path at the destination *)
+  prefer : 'w -> 'w -> int;  (** total preorder; negative = preferred *)
+}
+
+type labeled_graph = {
+  names : string array;
+  dest : Path.node;
+  links : (Path.node * Path.node * int * int) list;
+      (** (u, v, label of u->v, label of v->u) *)
+}
+
+val compile : ?max_len:int -> 'w algebra -> labeled_graph -> Instance.t
+(** Permitted paths are the supported simple paths (of at most [max_len]
+    hops, default the node count), ranked best-weight-first; equal-weight
+    paths are ordered deterministically, so the SPP tie rule holds. *)
+
+(** {1 Stock algebras} *)
+
+val shortest_paths : int algebra
+(** Labels are link costs; weights add; smaller is preferred. *)
+
+val widest_paths : int algebra
+(** Labels are link capacities; the weight of a path is its bottleneck;
+    larger is preferred.  Monotone (hence safe) but not strictly so. *)
+
+val gao_rexford : int algebra
+(** Labels encode the relationship of the {e next} node as seen from the
+    extender: {!label_customer}, {!label_peer}, {!label_provider}.
+    Extension enforces valley-freedom (no-valley, at most one peer link)
+    and prefers customer < peer < provider routes, breaking ties by
+    length — Sobrinho's algebraic rendering of the Gao–Rexford
+    guidelines. *)
+
+val label_customer : int
+val label_peer : int
+val label_provider : int
+
+val lex :
+  name:string -> 'a algebra -> 'b algebra -> ('a * 'b) algebra
+(** Lexicographic product: prefer by the first algebra, break ties by the
+    second; supported iff both support the path.  Both components read the
+    same numeric edge label. *)

@@ -1,0 +1,75 @@
+type t = Path.t array
+
+let make inst f =
+  Array.init (Instance.size inst) (fun v ->
+      if v = Instance.dest inst then Path.of_nodes [ v ] else f v)
+
+let of_list inst l =
+  make inst (fun v ->
+      match List.assoc_opt v l with Some p -> p | None -> Path.epsilon)
+
+let get t v = t.(v)
+let to_list t = Array.to_list t |> List.mapi (fun v p -> (v, p))
+let equal a b = Array.for_all2 Path.equal a b
+let compare = Stdlib.compare
+let all_epsilon inst = make inst (fun _ -> Path.epsilon)
+
+type violation =
+  | Inconsistent of Path.node
+  | Not_permitted of Path.node
+  | Unstable of Path.node * Path.t
+
+let pp_violation inst ppf = function
+  | Inconsistent v -> Fmt.pf ppf "%s's path is not supported by its next hop" (Instance.name inst v)
+  | Not_permitted v -> Fmt.pf ppf "%s's path is not permitted" (Instance.name inst v)
+  | Unstable (v, p) ->
+    Fmt.pf ppf "%s would prefer %a" (Instance.name inst v) (Instance.pp_path inst) p
+
+(* The feasible alternatives of v under assignment [t]: extensions of each
+   neighbor's assigned path. *)
+let feasible inst t v =
+  List.filter_map
+    (fun u ->
+      let pu = t.(u) in
+      if Path.is_epsilon pu then None
+      else
+        let cand = Path.extend v pu in
+        if Instance.is_permitted inst v cand then Some cand else None)
+    (Instance.neighbors inst v)
+
+let violations inst t =
+  let errs = ref [] in
+  let add e = errs := e :: !errs in
+  let check v =
+    if v = Instance.dest inst then ()
+    else begin
+      let pv = t.(v) in
+      (if not (Path.is_epsilon pv) then
+         if not (Instance.is_permitted inst v pv) then add (Not_permitted v)
+         else
+           match Path.to_nodes pv with
+           | _ :: (u :: _ as rest) ->
+             if not (Path.equal t.(u) (Path.of_nodes rest)) then add (Inconsistent v)
+           | _ -> add (Not_permitted v));
+      let alternatives = feasible inst t v in
+      let best = Instance.best inst v alternatives in
+      let rank_of p =
+        match Instance.rank inst v p with Some r -> r | None -> max_int
+      in
+      if Path.is_epsilon pv then begin
+        if not (Path.is_epsilon best) then add (Unstable (v, best))
+      end
+      else if (not (Path.is_epsilon best)) && rank_of best < rank_of pv then
+        add (Unstable (v, best))
+    end
+  in
+  List.iter check (Instance.nodes inst);
+  List.rev !errs
+
+let is_solution inst t = violations inst t = []
+
+let pp inst ppf t =
+  Fmt.pf ppf "(%a)"
+    Fmt.(list ~sep:(any ", ") (fun ppf (v, p) ->
+             Fmt.pf ppf "%s:%a" (Instance.name inst v) (Instance.pp_path inst) p))
+    (to_list t)

@@ -1,0 +1,38 @@
+(** Path assignments and the stability/consistency conditions that define a
+    solution of the Stable Paths Problem (Sec. 2.1). *)
+
+type t
+(** A total map from nodes to paths (possibly {!Path.epsilon}). *)
+
+val make : Instance.t -> (Path.node -> Path.t) -> t
+val of_list : Instance.t -> (Path.node * Path.t) list -> t
+(** Nodes not listed are assigned {!Path.epsilon}; the destination is always
+    assigned its trivial path. *)
+
+val get : t -> Path.node -> Path.t
+val to_list : t -> (Path.node * Path.t) list
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val all_epsilon : Instance.t -> t
+(** The initial assignment: epsilon everywhere, [d] at the destination. *)
+
+type violation =
+  | Inconsistent of Path.node
+      (** the next hop's assigned path does not support this node's path *)
+  | Not_permitted of Path.node
+  | Unstable of Path.node * Path.t
+      (** the node would prefer the (feasible) alternative path *)
+
+val pp_violation : Instance.t -> Format.formatter -> violation -> unit
+
+val violations : Instance.t -> t -> violation list
+(** Consistency: if [pi_v = v·p] with next hop [u] then [pi_u = p].
+    Stability: [pi_v] is the best permitted path in
+    [{ v·pi_u | u neighbor of v }] (epsilon if none is permitted). *)
+
+val is_solution : Instance.t -> t -> bool
+(** True iff {!violations} is empty: the assignment is a stable, consistent
+    solution of the instance. *)
+
+val pp : Instance.t -> Format.formatter -> t -> unit

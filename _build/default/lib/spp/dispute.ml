@@ -1,0 +1,114 @@
+type spoke = { pivot : Path.node; direct : Path.t; rim_route : Path.t }
+type wheel = spoke list
+
+let rank_exn inst v p =
+  match Instance.rank inst v p with
+  | Some r -> r
+  | None -> invalid_arg "Dispute: path not permitted"
+
+let check_spoke inst s next =
+  Instance.is_permitted inst s.pivot s.direct
+  && Instance.is_permitted inst s.pivot s.rim_route
+  && rank_exn inst s.pivot s.rim_route <= rank_exn inst s.pivot s.direct
+  && next.pivot <> s.pivot
+  && next.pivot <> Instance.dest inst
+  &&
+  match Path.suffix_from next.pivot s.rim_route with
+  | Some suffix -> Path.equal suffix next.direct
+  | None -> false
+
+let check_wheel inst = function
+  | [] -> false
+  | first :: _ as wheel ->
+    let rec loop = function
+      | [ last ] -> check_spoke inst last first
+      | s :: (next :: _ as rest) -> check_spoke inst s next && loop rest
+      | [] -> assert false
+    in
+    loop wheel
+
+(* Dispute digraph: vertices are (node, permitted path) pairs; an edge
+   (u, Q) -> (w, Q') carries the witnessing permitted path P' of u with
+   rank(P') <= rank(Q), where w is an intermediate node of P' and Q' its
+   suffix at w.  Cycles of this digraph are exactly dispute wheels. *)
+module V = struct
+  type t = Path.node * Path.t
+
+  let compare = compare
+end
+
+module VMap = Map.Make (V)
+
+let successors inst (u, q) =
+  let rq = rank_exn inst u q in
+  List.concat_map
+    (fun (p', rp') ->
+      if rp' > rq then []
+      else
+        match Path.to_nodes p' with
+        | [] | [ _ ] | [ _; _ ] -> []
+        | _ :: intermediates ->
+          List.filter_map
+            (fun w ->
+              if w = Instance.dest inst then None
+              else
+                match Path.suffix_from w p' with
+                | Some suffix when Instance.is_permitted inst w suffix ->
+                  Some ((w, suffix), p')
+                | Some _ | None -> None)
+            intermediates)
+    (List.filter_map
+       (fun p -> Option.map (fun r -> (p, r)) (Instance.rank inst u p))
+       (Instance.permitted inst u))
+
+let find inst =
+  let vertices =
+    List.concat_map
+      (fun v ->
+        if v = Instance.dest inst then []
+        else List.map (fun p -> (v, p)) (Instance.permitted inst v))
+      (Instance.nodes inst)
+  in
+  (* DFS with colors; on back edge, unwind the stack into a wheel. *)
+  let color = ref VMap.empty in
+  let exception Found of (V.t * Path.t) list in
+  let rec dfs stack v =
+    color := VMap.add v `Gray !color;
+    List.iter
+      (fun (w, witness) ->
+        match VMap.find_opt w !color with
+        | Some `Gray ->
+          (* Cycle: the portion of the stack from w to v, plus edge v->w. *)
+          let rec take acc = function
+            | (x, wit) :: rest ->
+              if V.compare x w = 0 then (x, wit) :: acc else take ((x, wit) :: acc) rest
+            | [] -> acc
+          in
+          raise (Found (take [] ((v, witness) :: stack)))
+        | Some `Black -> ()
+        | None -> dfs ((v, witness) :: stack) w)
+      (successors inst v);
+    color := VMap.add v `Black !color
+  in
+  match
+    List.iter
+      (fun v -> if not (VMap.mem v !color) then dfs [] v)
+      vertices
+  with
+  | () -> None
+  | exception Found cycle ->
+    let wheel =
+      List.map (fun ((u, q), witness) -> { pivot = u; direct = q; rim_route = witness }) cycle
+    in
+    assert (check_wheel inst wheel);
+    Some wheel
+
+let has_wheel inst = find inst <> None
+
+let pp_wheel inst ppf wheel =
+  Fmt.pf ppf "@[<v>dispute wheel:@,%a@]"
+    Fmt.(
+      list ~sep:cut (fun ppf s ->
+          Fmt.pf ppf "  pivot %s: direct %a, rim route %a" (Instance.name inst s.pivot)
+            (Instance.pp_path inst) s.direct (Instance.pp_path inst) s.rim_route))
+    wheel

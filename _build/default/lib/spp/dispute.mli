@@ -1,0 +1,30 @@
+(** Dispute-wheel detection.
+
+    A dispute wheel (Griffin–Shepherd–Wilfong) is a cyclic policy conflict:
+    pivot nodes [u_0, ..., u_{k-1}], spoke paths [Q_i] permitted at [u_i],
+    and rim paths [R_i] from [u_i] to [u_{i+1}] such that [R_i·Q_{i+1}] is
+    permitted at [u_i] and ranked at least as well as [Q_i].  Absence of a
+    dispute wheel is the broadest known sufficient condition for convergence
+    of the routing algorithm (referenced by Ex. A.1 of the paper). *)
+
+type spoke = {
+  pivot : Path.node;
+  direct : Path.t;  (** Q_i, permitted at [pivot] *)
+  rim_route : Path.t;
+      (** R_i·Q_{i+1}, permitted at [pivot] and ranked no worse than Q_i *)
+}
+
+type wheel = spoke list
+(** In cyclic order: the rim route of each spoke reaches the next spoke's
+    pivot and continues along the next spoke's direct path. *)
+
+val check_wheel : Instance.t -> wheel -> bool
+(** Verifies the dispute-wheel conditions for an explicit candidate. *)
+
+val find : Instance.t -> wheel option
+(** Finds a dispute wheel if one exists, by cycle search on the dispute
+    digraph whose vertices are (node, permitted path) pairs. *)
+
+val has_wheel : Instance.t -> bool
+
+val pp_wheel : Instance.t -> Format.formatter -> wheel -> unit

@@ -1,0 +1,202 @@
+let strip_comment line =
+  match String.index_opt line '#' with
+  | Some i -> String.sub line 0 i
+  | None -> line
+
+let words s =
+  String.split_on_char ' ' s
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun w -> w <> "")
+
+type decl =
+  | Dest of string
+  | Edges of (string * string) list
+  | Node of string * string list list
+      (* node name, preference-ordered paths as name lists *)
+
+let parse_path ~single_char_names token =
+  if String.contains token '-' then
+    Ok (String.split_on_char '-' token)
+  else if single_char_names then
+    Ok (List.init (String.length token) (fun i -> String.make 1 token.[i]))
+  else Error (Printf.sprintf "path %S needs dash-separated hops" token)
+
+let parse_decl ~single_char_names line =
+  match words line with
+  | [] -> Ok None
+  | [ "dest"; d ] -> Ok (Some (Dest d))
+  | "dest" :: _ -> Error "dest expects exactly one name"
+  | "edges" :: rest ->
+    let parse_edge tok =
+      match String.split_on_char '-' tok with
+      | [ a; b ] when a <> "" && b <> "" -> Ok (a, b)
+      | _ -> Error (Printf.sprintf "bad edge %S" tok)
+    in
+    let rec loop acc = function
+      | [] -> Ok (Some (Edges (List.rev acc)))
+      | tok :: rest -> (
+        match parse_edge tok with Ok e -> loop (e :: acc) rest | Error e -> Error e)
+    in
+    loop [] rest
+  | "node" :: rest -> (
+    (* node <name>: p1 > p2 ... — the colon may stick to the name *)
+    let flat = String.concat " " rest in
+    match String.index_opt flat ':' with
+    | None -> Error "node declaration needs ':'"
+    | Some i ->
+      let name = String.trim (String.sub flat 0 i) in
+      let prefs = String.sub flat (i + 1) (String.length flat - i - 1) in
+      if name = "" || String.contains name ' ' then Error "bad node name"
+      else
+        let path_tokens =
+          String.split_on_char '>' prefs |> List.map String.trim
+          |> List.filter (fun s -> s <> "")
+        in
+        let rec loop acc = function
+          | [] -> Ok (Some (Node (name, List.rev acc)))
+          | tok :: rest -> (
+            match parse_path ~single_char_names tok with
+            | Ok p -> loop (p :: acc) rest
+            | Error e -> Error e)
+        in
+        loop [] path_tokens)
+  | w :: _ -> Error (Printf.sprintf "unknown declaration %S" w)
+
+let parse text =
+  let lines = String.split_on_char '\n' text in
+  (* First pass: collect names from dest/edges to know whether they are all
+     single characters (enabling the paper's juxtaposed path syntax). *)
+  let mentioned = ref [] in
+  let mention n = if not (List.mem n !mentioned) then mentioned := n :: !mentioned in
+  List.iter
+    (fun line ->
+      match words (strip_comment line) with
+      | "dest" :: rest -> List.iter mention rest
+      | "edges" :: rest ->
+        List.iter
+          (fun tok ->
+            match String.split_on_char '-' tok with
+            | [ a; b ] ->
+              mention a;
+              mention b
+            | _ -> ())
+          rest
+      | "node" :: name :: _ ->
+        mention
+          (match String.index_opt name ':' with
+          | Some i -> String.sub name 0 i
+          | None -> name)
+      | _ -> ())
+    lines;
+  let names = List.rev !mentioned in
+  let single_char_names = List.for_all (fun n -> String.length n = 1) names in
+  let decls = ref [] in
+  let error = ref None in
+  List.iteri
+    (fun lineno line ->
+      if !error = None then
+        match parse_decl ~single_char_names (strip_comment line) with
+        | Ok None -> ()
+        | Ok (Some d) -> decls := d :: !decls
+        | Error e -> error := Some (Printf.sprintf "line %d: %s" (lineno + 1) e))
+    lines;
+  match !error with
+  | Some e -> Error e
+  | None ->
+    let decls = List.rev !decls in
+    let dest =
+      List.find_map (function Dest d -> Some d | _ -> None) decls
+    in
+    (match dest with
+    | None -> Error "missing 'dest' declaration"
+    | Some dest_name ->
+      let name_arr = Array.of_list names in
+      let id n =
+        let rec find i =
+          if i >= Array.length name_arr then None
+          else if name_arr.(i) = n then Some i
+          else find (i + 1)
+        in
+        find 0
+      in
+      let resolve n =
+        match id n with
+        | Some i -> Ok i
+        | None -> Error (Printf.sprintf "unknown node %S (not in dest/edges)" n)
+      in
+      let ( let* ) = Result.bind in
+      let rec resolve_all = function
+        | [] -> Ok []
+        | n :: rest ->
+          let* i = resolve n in
+          let* rest = resolve_all rest in
+          Ok (i :: rest)
+      in
+      let* dest_id = resolve dest_name in
+      let* edges =
+        List.fold_left
+          (fun acc d ->
+            let* acc = acc in
+            match d with
+            | Edges es ->
+              List.fold_left
+                (fun acc (a, b) ->
+                  let* acc = acc in
+                  let* a = resolve a in
+                  let* b = resolve b in
+                  Ok ((a, b) :: acc))
+                (Ok acc) es
+            | Dest _ | Node _ -> Ok acc)
+          (Ok []) decls
+      in
+      let* permitted =
+        List.fold_left
+          (fun acc d ->
+            let* acc = acc in
+            match d with
+            | Node (n, paths) ->
+              let* v = resolve n in
+              let* paths =
+                List.fold_left
+                  (fun acc p ->
+                    let* acc = acc in
+                    let* p = resolve_all p in
+                    Ok (p :: acc))
+                  (Ok []) paths
+              in
+              Ok ((v, List.rev paths) :: acc)
+            | Dest _ | Edges _ -> Ok acc)
+          (Ok []) decls
+      in
+      (try Ok (Instance.make ~names:name_arr ~dest:dest_id ~edges ~permitted)
+       with Invalid_argument e -> Error e))
+
+let parse_file path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | text -> parse text
+  | exception Sys_error e -> Error e
+
+let print inst =
+  let names = Instance.names inst in
+  let single = Array.for_all (fun n -> String.length n = 1) names in
+  let path_str p =
+    let hops = List.map (fun v -> names.(v)) (Path.to_nodes p) in
+    if single then String.concat "" hops else String.concat "-" hops
+  in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "dest %s\n" (Instance.name inst (Instance.dest inst)));
+  Buffer.add_string buf
+    ("edges "
+    ^ String.concat " "
+        (List.map
+           (fun (a, b) -> Printf.sprintf "%s-%s" names.(a) names.(b))
+           (Instance.edges inst))
+    ^ "\n");
+  List.iter
+    (fun v ->
+      if v <> Instance.dest inst then
+        Buffer.add_string buf
+          (Printf.sprintf "node %s: %s\n" (Instance.name inst v)
+             (String.concat " > " (List.map path_str (Instance.permitted inst v)))))
+    (Instance.nodes inst);
+  Buffer.contents buf

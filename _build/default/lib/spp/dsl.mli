@@ -1,0 +1,25 @@
+(** A small textual format for SPP instances, so that networks can be kept
+    in files, diffed, and fed to the command-line tools.
+
+    Grammar (one declaration per line; '#' starts a comment):
+
+    {v
+    dest d
+    edges d-x d-y x-y
+    node x: xyd > xd
+    node y: yxd > yd
+    v}
+
+    Node names are single words; paths are written either as
+    juxtaposition of single-character names (as in the paper: [xyd]) or as
+    dash-separated multi-character names ([x-y-d]).  Preferences are listed
+    most preferred first, separated by [>]. *)
+
+val parse : string -> (Instance.t, string) result
+(** Parses the description; the error string mentions the offending line. *)
+
+val parse_file : string -> (Instance.t, string) result
+
+val print : Instance.t -> string
+(** Prints an instance in the same format; [parse (print i)] reproduces
+    the instance. *)

@@ -1,0 +1,146 @@
+let node inst c = Instance.find_node inst (String.make 1 c)
+
+let path inst s =
+  Path.of_nodes (List.init (String.length s) (fun i -> node inst s.[i]))
+
+(* Build an instance from single-character node names, edges written as
+   two-character strings, and per-node permitted paths written as path
+   strings (most preferred first). *)
+let build ~names ~dest ~edges ~prefs =
+  let name_array = Array.of_list (List.map (String.make 1) names) in
+  let id c =
+    let rec loop i =
+      if i >= Array.length name_array then invalid_arg "Gadgets.build: unknown node"
+      else if name_array.(i) = String.make 1 c then i
+      else loop (i + 1)
+    in
+    loop 0
+  in
+  let parse s = List.init (String.length s) (fun i -> id s.[i]) in
+  Instance.make ~names:name_array ~dest:(id dest)
+    ~edges:(List.map (fun e ->
+                if String.length e <> 2 then invalid_arg "Gadgets.build: bad edge";
+                (id e.[0], id e.[1]))
+              edges)
+    ~permitted:(List.map (fun (c, paths) -> (id c, List.map parse paths)) prefs)
+
+let disagree =
+  build ~names:[ 'd'; 'x'; 'y' ] ~dest:'d'
+    ~edges:[ "dx"; "dy"; "xy" ]
+    ~prefs:[ ('x', [ "xyd"; "xd" ]); ('y', [ "yxd"; "yd" ]) ]
+
+let fig6 =
+  build
+    ~names:[ 'd'; 'x'; 'y'; 'z'; 'a'; 'u'; 'v' ]
+    ~dest:'d'
+    ~edges:[ "dx"; "dy"; "dz"; "xa"; "ya"; "za"; "au"; "av"; "uv" ]
+    ~prefs:
+      [
+        ('x', [ "xd" ]);
+        ('y', [ "yd" ]);
+        ('z', [ "zd" ]);
+        ('a', [ "azd"; "ayd"; "axd" ]);
+        (* u refuses all paths through y *)
+        ('u', [ "uvazd"; "uazd"; "uaxd" ]);
+        ('v', [ "vuazd"; "vazd"; "vuaxd"; "vayd" ]);
+      ]
+
+let fig7 =
+  build
+    ~names:[ 'd'; 'a'; 'b'; 'u'; 'v'; 's' ]
+    ~dest:'d'
+    ~edges:[ "da"; "db"; "ua"; "ub"; "va"; "vb"; "su"; "sv" ]
+    ~prefs:
+      [
+        ('a', [ "ad" ]);
+        ('b', [ "bd" ]);
+        ('u', [ "uad"; "ubd" ]);
+        ('v', [ "vad"; "vbd" ]);
+        ('s', [ "subd"; "svbd"; "suad" ]);
+      ]
+
+let fig8 =
+  build
+    ~names:[ 'd'; 'a'; 'b'; 'u'; 's' ]
+    ~dest:'d'
+    ~edges:[ "da"; "db"; "ua"; "ub"; "su" ]
+    ~prefs:
+      [
+        ('a', [ "ad" ]);
+        ('b', [ "bd" ]);
+        ('u', [ "ubd"; "uad" ]);
+        ('s', [ "suad"; "subd" ]);
+      ]
+
+let fig9 =
+  build
+    ~names:[ 'd'; 'a'; 'b'; 'x'; 'c'; 's' ]
+    ~dest:'d'
+    ~edges:[ "da"; "db"; "dx"; "ca"; "cb"; "sc"; "sx" ]
+    ~prefs:
+      [
+        ('a', [ "ad" ]);
+        ('b', [ "bd" ]);
+        ('x', [ "xd" ]);
+        ('c', [ "cad"; "cbd" ]);
+        ('s', [ "scbd"; "sxd"; "scad" ]);
+      ]
+
+let bad_gadget =
+  build
+    ~names:[ 'd'; '1'; '2'; '3' ]
+    ~dest:'d'
+    ~edges:[ "d1"; "d2"; "d3"; "13"; "21"; "32" ]
+    ~prefs:
+      [
+        ('1', [ "13d"; "1d" ]); ('2', [ "21d"; "2d" ]); ('3', [ "32d"; "3d" ]);
+      ]
+
+let good_gadget =
+  build
+    ~names:[ 'd'; '1'; '2'; '3' ]
+    ~dest:'d'
+    ~edges:[ "d1"; "d2"; "d3"; "13"; "21" ]
+    ~prefs:[ ('1', [ "13d"; "1d" ]); ('2', [ "21d"; "2d" ]); ('3', [ "3d" ]) ]
+
+let shortest_paths ~n =
+  if n < 2 then invalid_arg "Gadgets.shortest_paths: need n >= 2";
+  let names = Array.init (n + 1) (fun i -> if i = 0 then "d" else Printf.sprintf "n%d" i) in
+  let edges =
+    (* Ring 1..n plus a chord from node 1 to d. *)
+    (1, 0) :: (2, 0) :: List.init (n - 1) (fun i -> (i + 1, i + 2))
+  in
+  (* Permitted paths: all simple paths of length <= n, ranked by length. *)
+  let adj = Array.make (n + 1) [] in
+  List.iter
+    (fun (u, v) ->
+      adj.(u) <- v :: adj.(u);
+      adj.(v) <- u :: adj.(v))
+    edges;
+  let paths_of v =
+    let acc = ref [] in
+    let rec explore path u =
+      if u = 0 then acc := List.rev path :: !acc
+      else
+        List.iter
+          (fun w -> if not (List.mem w path) then explore (w :: path) w)
+          adj.(u)
+    in
+    explore [ v ] v;
+    List.sort
+      (fun p q -> compare (List.length p, p) (List.length q, q))
+      !acc
+  in
+  let permitted = List.init n (fun i -> (i + 1, paths_of (i + 1))) in
+  Instance.make ~names ~dest:0 ~edges ~permitted
+
+let all_named () =
+  [
+    ("DISAGREE", disagree);
+    ("FIG6", fig6);
+    ("FIG7", fig7);
+    ("FIG8", fig8);
+    ("FIG9", fig9);
+    ("BAD-GADGET", bad_gadget);
+    ("GOOD-GADGET", good_gadget);
+  ]

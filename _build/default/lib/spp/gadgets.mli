@@ -1,0 +1,42 @@
+(** The paper's example networks (Figures 5–9) and classic SPP gadgets.
+
+    Node names are single characters matching the paper's figures, so paths
+    print exactly as in the appendix tables (e.g. "uvazd"). *)
+
+val node : Instance.t -> char -> Path.node
+(** Node id of a single-character name. *)
+
+val path : Instance.t -> string -> Path.t
+(** Parses a path written as in the paper, e.g. ["uvazd"]; [""] is epsilon. *)
+
+val disagree : Instance.t
+(** Fig. 5 / Ex. A.1: DISAGREE.  Two stable solutions; oscillates in R1O but
+    cannot oscillate in REO, REF, R1A, RMA, REA. *)
+
+val fig6 : Instance.t
+(** Fig. 6 / Ex. A.2: oscillates in REO and REF but not in the polling
+    models R1A, RMA, REA. *)
+
+val fig7 : Instance.t
+(** Fig. 7 / Ex. A.3: an REO execution that R1O cannot realize exactly. *)
+
+val fig8 : Instance.t
+(** Fig. 8 / Ex. A.4: an REA execution that R1O cannot realize with
+    repetition. *)
+
+val fig9 : Instance.t
+(** Fig. 9 / Ex. A.5: an REA execution that R1S cannot realize exactly. *)
+
+val bad_gadget : Instance.t
+(** Griffin–Shepherd–Wilfong BAD GADGET: no stable solution. *)
+
+val good_gadget : Instance.t
+(** Griffin–Shepherd–Wilfong GOOD GADGET: dispute-wheel-free, one stable
+    solution. *)
+
+val shortest_paths : n:int -> Instance.t
+(** A ring of [n] nodes around the destination with shortest-path ranking:
+    always convergent, used as a well-behaved baseline. *)
+
+val all_named : unit -> (string * Instance.t) list
+(** Every fixed gadget with its name (excludes the parametric ones). *)

@@ -1,0 +1,61 @@
+type node = int
+
+let pp_node ~names ppf v =
+  if v >= 0 && v < Array.length names then Fmt.string ppf names.(v)
+  else Fmt.pf ppf "#%d" v
+
+(* Invariant: the list is either empty (epsilon) or a sequence of distinct
+   non-negative node ids, source first.  Simplicity is enforced by
+   [Instance.validate] for permitted paths but not by construction, so that
+   the engine can form and then reject non-simple extensions. *)
+type t = node list
+
+let epsilon = []
+let is_epsilon p = p = []
+let of_nodes nodes = nodes
+let to_nodes p = p
+
+let source = function [] -> None | v :: _ -> Some v
+
+let rec destination = function
+  | [] -> None
+  | [ v ] -> Some v
+  | _ :: rest -> destination rest
+
+let next_hop = function [] | [ _ ] -> None | _ :: u :: _ -> Some u
+let length = function [] -> 0 | p -> List.length p - 1
+
+let extend v = function
+  | [] -> invalid_arg "Path.extend: cannot extend the empty path"
+  | p -> v :: p
+
+let contains v p = List.mem v p
+
+let is_simple p =
+  let rec loop seen = function
+    | [] -> true
+    | v :: rest -> (not (List.mem v seen)) && loop (v :: seen) rest
+  in
+  loop [] p
+
+let rec suffix_from v = function
+  | [] -> None
+  | u :: rest -> if u = v then Some (u :: rest) else suffix_from v rest
+
+let prefix_to v p =
+  let rec loop acc = function
+    | [] -> None
+    | u :: rest ->
+      if u = v then Some (List.rev (u :: acc)) else loop (u :: acc) rest
+  in
+  loop [] p
+
+let equal = ( = )
+let compare = Stdlib.compare
+let hash = Hashtbl.hash
+
+let pp ~names ppf = function
+  | [] -> Fmt.string ppf "\xCE\xB5" (* ε *)
+  | p -> List.iter (fun v -> pp_node ~names ppf v) p
+
+let to_string ~names p = Fmt.str "%a" (pp ~names) p

@@ -1,0 +1,65 @@
+(** Nodes and routing paths for the Stable Paths Problem.
+
+    A node is an integer identifier local to an {!Instance.t}.  A path is the
+    sequence of nodes from its source down to the destination; the empty path
+    [epsilon] stands for "no route" and doubles as the withdrawal message in
+    the execution engine. *)
+
+type node = int
+
+val pp_node : names:string array -> Format.formatter -> node -> unit
+
+type t
+(** A path, either [epsilon] or a non-empty node sequence ending at the
+    destination.  Structural equality and ordering are meaningful. *)
+
+val epsilon : t
+(** The empty path (no route / withdrawal). *)
+
+val is_epsilon : t -> bool
+
+val of_nodes : node list -> t
+(** [of_nodes [v1; ...; vk]] is the path v1 v2 ... vk (source first).
+    [of_nodes []] is {!epsilon}. *)
+
+val to_nodes : t -> node list
+
+val source : t -> node option
+(** First node of the path; [None] for {!epsilon}. *)
+
+val destination : t -> node option
+(** Last node of the path; [None] for {!epsilon}. *)
+
+val next_hop : t -> node option
+(** Second node of the path, i.e. the neighbor the source routes through;
+    [None] for {!epsilon} and for the trivial one-node path. *)
+
+val length : t -> int
+(** Number of edges, i.e. number of nodes minus one; 0 for {!epsilon}. *)
+
+val extend : node -> t -> t
+(** [extend v p] is the path v·p.  Raises [Invalid_argument] if [p] is
+    {!epsilon} (one cannot extend "no route"). *)
+
+val contains : node -> t -> bool
+
+val is_simple : t -> bool
+(** No repeated node.  {!epsilon} is simple. *)
+
+val suffix_from : node -> t -> t option
+(** [suffix_from v p] is the suffix of [p] starting at [v], if [v] occurs
+    in [p]. *)
+
+val prefix_to : node -> t -> t option
+(** [prefix_to v p] is the prefix of [p] ending at [v] (inclusive), if [v]
+    occurs in [p]. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+val pp : names:string array -> Format.formatter -> t -> unit
+(** Prints paths in the paper's compact style, e.g. "uvazd"; {!epsilon}
+    prints as the empty-set symbol. *)
+
+val to_string : names:string array -> t -> string

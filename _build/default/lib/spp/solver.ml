@@ -1,0 +1,144 @@
+(* Backtracking over nodes in id order.  Each non-destination node is
+   assigned one of its permitted paths or epsilon.  Partial pruning: a
+   path can only be assigned if its next hop, when already assigned, is
+   consistent with it; full stability is checked on complete assignments. *)
+
+let choices inst v =
+  if v = Instance.dest inst then [ Path.of_nodes [ v ] ]
+  else Instance.permitted inst v @ [ Path.epsilon ]
+
+let consistent_so_far inst (partial : Path.t option array) v p =
+  if Path.is_epsilon p then true
+  else
+    match Path.to_nodes p with
+    | _ :: (u :: _ as rest) ->
+      (match partial.(u) with
+      | Some q -> Path.equal q (Path.of_nodes rest)
+      | None -> true)
+    | _ -> v = Instance.dest inst
+
+(* A completed choice for v must also not be destabilized by already-fixed
+   neighbors: if a strictly better extension of a fixed neighbor's path is
+   permitted at v, prune. *)
+let stable_so_far inst (partial : Path.t option array) v p =
+  let rank_of q = match Instance.rank inst v q with Some r -> r | None -> max_int in
+  let rv = if Path.is_epsilon p then max_int else rank_of p in
+  (* No already-fixed neighbor may offer a strictly better feasible route. *)
+  let better_exists =
+    List.exists
+      (fun u ->
+        match partial.(u) with
+        | Some pu when not (Path.is_epsilon pu) ->
+          let cand = Path.extend v pu in
+          Instance.is_permitted inst v cand && rank_of cand < rv
+        | _ -> false)
+      (Instance.neighbors inst v)
+  in
+  not better_exists
+
+let solutions ?limit inst =
+  let n = Instance.size inst in
+  let partial = Array.make n None in
+  let found = ref [] in
+  let count = ref 0 in
+  let full () = Array.map (function Some p -> p | None -> assert false) partial in
+  let exception Done in
+  let rec go v =
+    if v = n then begin
+      let a =
+        Assignment.of_list inst (Array.to_list (full ()) |> List.mapi (fun i p -> (i, p)))
+      in
+      if Assignment.is_solution inst a then begin
+        found := a :: !found;
+        incr count;
+        match limit with Some l when !count >= l -> raise Done | _ -> ()
+      end
+    end
+    else
+      List.iter
+        (fun p ->
+          if consistent_so_far inst partial v p && stable_so_far inst partial v p
+          then begin
+            partial.(v) <- Some p;
+            go (v + 1);
+            partial.(v) <- None
+          end)
+        (choices inst v)
+  in
+  (try go 0 with Done -> ());
+  List.rev !found
+
+let solve inst = match solutions ~limit:1 inst with [] -> None | a :: _ -> Some a
+let is_solvable inst = solve inst <> None
+let count_solutions inst = List.length (solutions inst)
+
+(* Griffin-Shepherd-Wilfong greedy construction.  A permitted path Q of an
+   unfixed node is "still possible" when every fixed node on it carries
+   exactly the corresponding suffix; a node can be fixed to path P (an
+   extension of a fixed neighbor's path) once P is at least as preferred as
+   every still-possible permitted path.  Nodes with no possible path are
+   fixed to epsilon. *)
+let constructive inst =
+  let n = Instance.size inst in
+  let fixed : Path.t option array = Array.make n None in
+  fixed.(Instance.dest inst) <- Some (Path.of_nodes [ Instance.dest inst ]);
+  let possible () q =
+    (* q permitted at v; check consistency with fixed nodes *)
+    let rec walk = function
+      | u :: rest ->
+        (match fixed.(u) with
+        | Some p -> Path.equal p (Path.of_nodes (u :: rest))
+        | None -> walk rest)
+      | [] -> true
+    in
+    match Path.to_nodes q with _ :: rest -> walk rest | [] -> false
+  in
+  let candidate v =
+    (* best extension of a fixed neighbor, if unbeatable *)
+    let possibles = List.filter (possible ()) (Instance.permitted inst v) in
+    match possibles with
+    | [] -> Some Path.epsilon
+    | best :: _ ->
+      (* permitted lists are rank-sorted, so the head is the most
+         preferred possible path; it is fixable iff it extends a fixed
+         node's path *)
+      (match Path.to_nodes best with
+      | _ :: (u :: _ as rest) when fixed.(u) = Some (Path.of_nodes rest) -> Some best
+      | _ -> None)
+  in
+  let rec loop () =
+    let progress = ref false in
+    for v = 0 to n - 1 do
+      if fixed.(v) = None then
+        match candidate v with
+        | Some p ->
+          fixed.(v) <- Some p;
+          progress := true
+        | None -> ()
+    done;
+    if Array.exists (fun f -> f = None) fixed then
+      if !progress then loop () else None
+    else begin
+      let a = Assignment.make inst (fun v -> Option.get fixed.(v)) in
+      if Assignment.is_solution inst a then Some a else None
+    end
+  in
+  loop ()
+
+let greedy inst =
+  let respond a =
+    Assignment.make inst (fun v ->
+        let candidates =
+          List.filter_map
+            (fun u ->
+              let pu = Assignment.get a u in
+              if Path.is_epsilon pu then None else Some (Path.extend v pu))
+            (Instance.neighbors inst v)
+        in
+        Instance.best inst v candidates)
+  in
+  let rec iterate seen a =
+    if List.exists (Assignment.equal a) seen then a
+    else iterate (a :: seen) (respond a)
+  in
+  iterate [] (Assignment.all_epsilon inst)

@@ -1,0 +1,32 @@
+(** Enumeration of the stable solutions of an SPP instance.
+
+    Deciding whether an SPP instance is solvable is NP-complete (Griffin,
+    Shepherd, Wilfong 2002); this module implements an exact backtracking
+    search suitable for the gadget-sized instances of the paper and for
+    randomly generated instances of moderate size. *)
+
+val solutions : ?limit:int -> Instance.t -> Assignment.t list
+(** All stable, consistent path assignments, in a deterministic order.
+    [limit] (default: unlimited) stops the search after that many solutions
+    have been found. *)
+
+val solve : Instance.t -> Assignment.t option
+(** The first solution found, if any. *)
+
+val is_solvable : Instance.t -> bool
+val count_solutions : Instance.t -> int
+
+val constructive : Instance.t -> Assignment.t option
+(** The Griffin–Shepherd–Wilfong greedy construction: repeatedly fix a node
+    whose best feasible path (over already-fixed nodes only) cannot be
+    beaten by any path through unfixed nodes.  Polynomial, and guaranteed
+    to produce the (then unique) solution on dispute-wheel-free instances;
+    may return [None] on instances with wheels even when a solution
+    exists. *)
+
+val greedy : Instance.t -> Assignment.t
+(** The assignment computed by synchronous best-response iteration from the
+    all-epsilon assignment, stopped at the first repeated assignment.  If the
+    returned assignment satisfies {!Assignment.is_solution} the instance
+    converged under this particular (REA-like, simultaneous) schedule; the
+    result is a heuristic and is {e not} guaranteed to be a solution. *)

@@ -1,0 +1,1 @@
+test/test_algebra.ml: Alcotest Algebra Bgp Dispute Engine Executor Fmt Instance List Model Option Path Printf Scheduler Solver Spp

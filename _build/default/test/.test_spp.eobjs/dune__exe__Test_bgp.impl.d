@@ -1,0 +1,1 @@
+test/test_bgp.ml: Alcotest Assignment Bgp Config_map Dispute Engine Fmt Fun Instance List Model Option Path Policy Printf QCheck2 QCheck_alcotest Scheduler Simulate Spp Topology

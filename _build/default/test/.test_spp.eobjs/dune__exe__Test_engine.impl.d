@@ -1,0 +1,1 @@
+test/test_engine.ml: Activation Alcotest Assignment Channel Engine Executor Fairness Fmt Gadgets Instance List Model Option Path Scheduler Spp State Step String Trace

@@ -1,0 +1,1 @@
+test/test_failure.ml: Alcotest Assignment Bgp Channel Engine Executor Failure Gadgets Instance List Model Modelcheck Option Path Policy Scheduler Spp State String Surgery Topology Trace

@@ -1,0 +1,1 @@
+test/test_spp.ml: Alcotest Assignment Dispute Fmt Gadgets Generator Instance List Option Path QCheck2 QCheck_alcotest Solver Spp

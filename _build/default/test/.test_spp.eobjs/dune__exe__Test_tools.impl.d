@@ -1,0 +1,1 @@
+test/test_tools.ml: Activation Alcotest Assignment Bgp Channel Dispute Dsl Engine Executor Gadgets Generator Instance List Model Modelcheck Option Path Replay Scheduler Solver Spp State Timed Trace

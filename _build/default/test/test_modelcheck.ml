@@ -1,0 +1,369 @@
+(* Tests for the bounded model checker: canonical entry enumeration,
+   exhaustive oscillation/convergence verdicts on the paper's gadgets, and
+   executor replay of every oscillation witness. *)
+
+open Spp
+open Engine
+open Modelcheck
+
+let model s =
+  match Model.of_string s with Some m -> m | None -> Alcotest.failf "bad model %s" s
+
+(* ------------------------------------------------------------------ *)
+(* Enumerate *)
+
+let test_enumerate_counts () =
+  let inst = Gadgets.disagree in
+  let st = State.initial inst in
+  (* Initial state: all channels empty.  REA: one full poll per node. *)
+  let rea = Enumerate.successors inst (model "REA") st in
+  Alcotest.(check int) "REA: one entry per node" 3 (List.length rea);
+  (* R1O: one entry per (node, channel); x and y have 2 channels each, and
+     the destination contributes its single no-op activation. *)
+  let r1o = Enumerate.successors inst (model "R1O") st in
+  Alcotest.(check int) "R1O count" 5 (List.length r1o);
+  List.iter
+    (fun (l : Enumerate.labeled) ->
+      Alcotest.(check bool) "validates" true
+        (Model.validates inst (model "R1O") l.Enumerate.entry))
+    r1o
+
+let test_enumerate_drop_variants () =
+  (* After d announces, channel (d,x) has one message: U1O at x offers a
+     clean read and an all-dropped read. *)
+  let inst = Gadgets.disagree in
+  let d = Gadgets.node inst 'd' in
+  let o = Step.apply inst (State.initial inst) (Activation.poll_all inst d) in
+  let st = o.Step.state in
+  let u1o = Enumerate.successors inst (model "U1O") st in
+  let x = Gadgets.node inst 'x' in
+  let reads_dx (l : Enumerate.labeled) =
+    List.exists
+      (fun (c : Channel.id) -> c.Channel.src = d && c.Channel.dst = x)
+      l.Enumerate.reads
+  in
+  let variants = List.filter reads_dx u1o in
+  Alcotest.(check int) "clean + dropped" 2 (List.length variants);
+  Alcotest.(check bool) "one drops" true
+    (List.exists (fun (l : Enumerate.labeled) -> l.Enumerate.drops <> []) variants);
+  Alcotest.(check bool) "one cleans" true
+    (List.exists (fun (l : Enumerate.labeled) -> l.Enumerate.cleans <> []) variants)
+
+let test_enumerate_entries_validate () =
+  let inst = Gadgets.disagree in
+  let d = Gadgets.node inst 'd' in
+  let o = Step.apply inst (State.initial inst) (Activation.poll_all inst d) in
+  let st = o.Step.state in
+  List.iter
+    (fun m ->
+      List.iter
+        (fun (l : Enumerate.labeled) ->
+          if not (Model.validates inst m l.Enumerate.entry) then
+            Alcotest.failf "%s: invalid canonical entry %a" (Model.to_string m)
+              (Activation.pp inst) l.Enumerate.entry)
+        (Enumerate.successors inst m st))
+    Model.all
+
+(* ------------------------------------------------------------------ *)
+(* DISAGREE: the full 24-model sweep (Ex. A.1 and beyond) *)
+
+let disagree_expected =
+  (* Per the paper, DISAGREE cannot oscillate in REO, REF, R1A, RMA, REA;
+     the model checker additionally proves the unreliable E-variants
+     convergent (a refinement, recorded in EXPERIMENTS.md). *)
+  [ "REO"; "REF"; "R1A"; "RMA"; "REA"; "UEO"; "UEF"; "U1A"; "UMA"; "UEA" ]
+
+let test_disagree_sweep () =
+  let inst = Gadgets.disagree in
+  List.iter
+    (fun m ->
+      let name = Model.to_string m in
+      let expected_converges = List.mem name disagree_expected in
+      match Oscillation.analyze inst m with
+      | Oscillation.Converges ->
+        if not expected_converges then Alcotest.failf "%s: expected oscillation" name
+      | Oscillation.Oscillates w ->
+        if expected_converges then Alcotest.failf "%s: expected convergence" name;
+        Alcotest.(check bool) (name ^ " witness replays") true
+          (Oscillation.verify_witness inst m w)
+      | Oscillation.Unknown r -> Alcotest.failf "%s: unknown (%s)" name r)
+    Model.all
+
+(* ------------------------------------------------------------------ *)
+(* FIG6 (Ex. A.2): polling models provably converge *)
+
+let test_fig6_rea_converges () =
+  match Oscillation.analyze Gadgets.fig6 (model "REA") with
+  | Oscillation.Converges -> ()
+  | v -> Alcotest.failf "expected convergence, got %a" Oscillation.pp_verdict v
+
+(* ------------------------------------------------------------------ *)
+(* BAD GADGET: no solution, so every model oscillates *)
+
+let test_bad_gadget_oscillates () =
+  let inst = Gadgets.bad_gadget in
+  List.iter
+    (fun name ->
+      let m = model name in
+      match Oscillation.analyze inst m with
+      | Oscillation.Oscillates w ->
+        Alcotest.(check bool) (name ^ " witness replays") true
+          (Oscillation.verify_witness inst m w)
+      | v -> Alcotest.failf "%s: expected oscillation, got %a" name Oscillation.pp_verdict v)
+    [ "REA"; "REO"; "U1A" ]
+
+(* ------------------------------------------------------------------ *)
+(* GOOD GADGET and safe instances: convergence everywhere *)
+
+let test_good_gadget_converges () =
+  let inst = Gadgets.good_gadget in
+  List.iter
+    (fun name ->
+      match Oscillation.analyze inst (model name) with
+      | Oscillation.Converges -> ()
+      | v -> Alcotest.failf "%s: expected convergence, got %a" name Oscillation.pp_verdict v)
+    [ "R1O"; "REA"; "UMS"; "U1O" ]
+
+let test_safe_random_instances_converge () =
+  (* Dispute-wheel-free instances converge in every model (Griffin et al.);
+     spot-check small random safe instances under R1O. *)
+  List.iter
+    (fun seed ->
+      let cfg = { Generator.default with nodes = 4; seed; extra_edges = 1 } in
+      let inst = Generator.safe_instance cfg in
+      match Oscillation.analyze inst (model "R1O") with
+      | Oscillation.Converges -> ()
+      | Oscillation.Unknown _ -> () (* bound hit: acceptable for random inputs *)
+      | Oscillation.Oscillates _ ->
+        Alcotest.failf "safe instance oscillates (seed %d)" seed)
+    [ 1; 2; 3; 4; 5 ]
+
+(* ------------------------------------------------------------------ *)
+(* Witness structure *)
+
+let test_witness_is_fair_cycle () =
+  let inst = Gadgets.disagree in
+  match Oscillation.analyze inst (model "R1O") with
+  | Oscillation.Oscillates w ->
+    Alcotest.(check bool) "fair" true (Fairness.cycle_is_fair inst w.Oscillation.cycle);
+    (* Every witness entry is a legal R1O entry. *)
+    List.iter
+      (fun e ->
+        Alcotest.(check bool) "entry valid" true (Model.validates inst (model "R1O") e))
+      (w.Oscillation.prefix @ w.Oscillation.cycle)
+  | v -> Alcotest.failf "expected oscillation, got %a" Oscillation.pp_verdict v
+
+let test_unreliable_witness_has_drops_covered () =
+  let inst = Gadgets.disagree in
+  match Oscillation.analyze inst (model "UMS") with
+  | Oscillation.Oscillates w ->
+    Alcotest.(check bool) "fair incl. drop rule" true
+      (Fairness.cycle_is_fair inst w.Oscillation.cycle);
+    Alcotest.(check bool) "replays" true
+      (Oscillation.verify_witness inst (model "UMS") w)
+  | v -> Alcotest.failf "expected oscillation, got %a" Oscillation.pp_verdict v
+
+(* ------------------------------------------------------------------ *)
+(* Refute: machine-checked Props. 3.10-3.13 (Examples A.3-A.5) *)
+
+let poll1 inst c =
+  let v = Gadgets.node inst c in
+  Activation.single v
+    (List.map
+       (fun ch -> Activation.read ~count:(Activation.Finite 1) ch)
+       (Model.required_channels inst v))
+
+let target_of inst entries =
+  Engine.Trace.assignments ~include_initial:true (Executor.run_entries inst entries)
+
+let check_refute name expected result =
+  let got =
+    match result with
+    | Refute.Realizable _ -> "realizable"
+    | Refute.Impossible -> "impossible"
+    | Refute.Unknown r -> "unknown: " ^ r
+  in
+  Alcotest.(check string) name expected got
+
+let test_prop_3_10 () =
+  (* Ex. A.3: the REO execution on FIG7 cannot be exactly realized in R1O
+     (taking fairness of the continuation into account), but is realizable
+     as a subsequence there and exactly in RMS. *)
+  let inst = Gadgets.fig7 in
+  let entries = List.map (poll1 inst) [ 'd'; 'b'; 'u'; 'v'; 'a'; 'u'; 'v'; 's'; 's'; 's' ] in
+  let target = target_of inst entries in
+  check_refute "not exact in R1O" "impossible"
+    (Refute.realizable ~termination:Refute.Forever inst (model "R1O")
+       Realization.Relation.Exact ~target);
+  check_refute "subsequence in R1O" "realizable"
+    (Refute.realizable inst (model "R1O") Realization.Relation.Subsequence ~target);
+  (* A positive verdict is sound at any channel bound; a small bound keeps
+     the RMS product space tiny. *)
+  check_refute "exact in RMS" "realizable"
+    (Refute.realizable
+       ~config:{ Explore.default_config with Explore.channel_bound = 2 }
+       ~termination:Refute.Forever inst (model "RMS") Realization.Relation.Exact ~target)
+
+let test_prop_3_11 () =
+  (* Ex. A.4: the REA execution on FIG8 cannot be realized with repetition
+     in R1O; the paper's subsequence realization (inserting suad) exists. *)
+  let inst = Gadgets.fig8 in
+  let entries =
+    List.map (fun c -> Activation.poll_all inst (Gadgets.node inst c))
+      [ 'd'; 'a'; 'u'; 'b'; 'u'; 's' ]
+  in
+  let target = target_of inst entries in
+  check_refute "not with repetition in R1O" "impossible"
+    (Refute.realizable inst (model "R1O") Realization.Relation.Repetition ~target);
+  (match
+     Refute.realizable inst (model "R1O") Realization.Relation.Subsequence ~target
+   with
+  | Refute.Realizable schedule ->
+    (* Replaying the found schedule must indeed contain the target as a
+       subsequence. *)
+    let realized = target_of inst schedule in
+    Alcotest.(check bool) "schedule replays" true
+      (Realization.Seqcheck.is_subsequence ~original:target ~realized)
+  | r -> Alcotest.failf "expected subsequence realization, got %a" Refute.pp_result r)
+
+let test_props_3_12_3_13 () =
+  (* Ex. A.5: the REA execution on FIG9 cannot be exactly realized in R1S
+     (Prop. 3.12); the same sequence is an REO sequence (Prop. 3.13). *)
+  let inst = Gadgets.fig9 in
+  let entries =
+    List.map (fun c -> Activation.poll_all inst (Gadgets.node inst c))
+      [ 'd'; 'b'; 'c'; 'x'; 's'; 'a'; 'c'; 's' ]
+  in
+  let target = target_of inst entries in
+  check_refute "not exact in R1S" "impossible"
+    (Refute.realizable inst (model "R1S") Realization.Relation.Exact ~target);
+  check_refute "repetition in R1S" "realizable"
+    (Refute.realizable inst (model "R1S") Realization.Relation.Repetition ~target)
+
+let test_refute_positive_sanity () =
+  (* A sequence induced by a model is trivially realizable in that model. *)
+  let inst = Gadgets.disagree in
+  let entries =
+    List.map (fun c -> Activation.poll_all inst (Gadgets.node inst c)) [ 'd'; 'x'; 'y' ]
+  in
+  let target = target_of inst entries in
+  check_refute "REA realizes its own trace" "realizable"
+    (Refute.realizable inst (model "REA") Realization.Relation.Exact ~target)
+
+let test_explore_basics () =
+  let inst = Gadgets.disagree in
+  let g = Explore.explore inst (model "REA") in
+  Alcotest.(check bool) "no pruning" false g.Explore.pruned;
+  Alcotest.(check bool) "complete" false g.Explore.truncated;
+  Alcotest.(check bool) "nontrivial" true (Array.length g.Explore.states > 3);
+  (* State 0 is the initial state. *)
+  Alcotest.(check bool) "initial first" true
+    (State.equal g.Explore.states.(0) (State.initial inst))
+
+
+(* ------------------------------------------------------------------ *)
+(* Cross-validation between independent components *)
+
+let test_reachable_solutions_subset_of_solver () =
+  (* Every stable solution the model checker reaches must be found by the
+     enumerating solver, on random instances.  Small instances and a tight
+     channel bound keep the exploration cheap. *)
+  let config = { Explore.channel_bound = 2; max_states = 50_000 } in
+  List.iter
+    (fun seed ->
+      let inst =
+        Generator.instance
+          { Generator.default with nodes = 4; seed; extra_edges = 1; max_paths_per_node = 2 }
+      in
+      let all = Solver.solutions inst in
+      List.iter
+        (fun mname ->
+          List.iter
+            (fun a ->
+              if not (List.exists (Assignment.equal a) all) then
+                Alcotest.failf "reachable non-solution under %s (seed %d)" mname seed)
+            (Quiescence.reachable_solutions ~config inst (model mname)))
+        [ "R1O"; "REA" ])
+    [ 1; 2; 3; 4; 5; 6 ]
+
+let test_refute_agrees_with_transform () =
+  (* Whatever the constructive transforms realize, the reachability-based
+     decision procedure must also find realizable. *)
+  let inst = Gadgets.disagree in
+  List.iter
+    (fun (src, tgt, level) ->
+      let source = model src and target = model tgt in
+      let entries = Engine.Scheduler.prefix 8 (Engine.Scheduler.random inst source ~seed:3) in
+      let original = target_of inst entries in
+      match Refute.realizable inst target level ~target:original with
+      | Refute.Realizable _ -> ()
+      | r ->
+        Alcotest.failf "%s trace should be %s-realizable in %s, got %a" src
+          (Realization.Relation.to_string level) tgt Refute.pp_result r)
+    [
+      ("RMA", "RMS", Realization.Relation.Exact);
+      ("R1O", "UMS", Realization.Relation.Exact);
+      ("RMS", "R1S", Realization.Relation.Repetition);
+      ("RES", "R1O", Realization.Relation.Subsequence);
+    ]
+
+let test_constructive_agrees_with_enumeration () =
+  List.iter
+    (fun seed ->
+      let inst = Generator.safe_instance { Generator.default with nodes = 5; seed } in
+      match (Solver.constructive inst, Solver.solutions inst) with
+      | Some a, [ only ] ->
+        Alcotest.(check bool) "unique solution matches" true (Assignment.equal a only)
+      | Some a, several ->
+        Alcotest.(check bool) "constructive is among solutions" true
+          (List.exists (Assignment.equal a) several)
+      | None, [] -> ()
+      | None, _ :: _ ->
+        (* The greedy construction is allowed to fail only on instances
+           with dispute wheels. *)
+        Alcotest.(check bool) "wheel present" true (Dispute.has_wheel inst))
+    [ 7; 8; 9; 10; 11 ]
+
+let () =
+  Alcotest.run "modelcheck"
+    [
+      ( "enumerate",
+        [
+          Alcotest.test_case "counts" `Quick test_enumerate_counts;
+          Alcotest.test_case "drop variants" `Quick test_enumerate_drop_variants;
+          Alcotest.test_case "entries validate (24 models)" `Quick
+            test_enumerate_entries_validate;
+        ] );
+      ( "verdicts",
+        [
+          Alcotest.test_case "DISAGREE 24-model sweep" `Quick test_disagree_sweep;
+          Alcotest.test_case "FIG6 REA converges" `Quick test_fig6_rea_converges;
+          Alcotest.test_case "BAD GADGET oscillates" `Slow test_bad_gadget_oscillates;
+          Alcotest.test_case "GOOD GADGET converges" `Quick test_good_gadget_converges;
+          Alcotest.test_case "safe random instances converge" `Slow
+            test_safe_random_instances_converge;
+        ] );
+      ( "refute",
+        [
+          Alcotest.test_case "Prop 3.10 (Ex A.3)" `Quick test_prop_3_10;
+          Alcotest.test_case "Prop 3.11 (Ex A.4)" `Quick test_prop_3_11;
+          Alcotest.test_case "Props 3.12/3.13 (Ex A.5)" `Quick test_props_3_12_3_13;
+          Alcotest.test_case "positive sanity" `Quick test_refute_positive_sanity;
+        ] );
+      ( "cross-validation",
+        [
+          Alcotest.test_case "reachable solutions are solver solutions" `Quick
+            test_reachable_solutions_subset_of_solver;
+          Alcotest.test_case "refute agrees with transforms" `Quick
+            test_refute_agrees_with_transform;
+          Alcotest.test_case "constructive agrees with enumeration" `Quick
+            test_constructive_agrees_with_enumeration;
+        ] );
+      ( "witnesses",
+        [
+          Alcotest.test_case "fair R1O witness" `Quick test_witness_is_fair_cycle;
+          Alcotest.test_case "UMS drops covered" `Quick
+            test_unreliable_witness_has_drops_covered;
+          Alcotest.test_case "explore basics" `Quick test_explore_basics;
+        ] );
+    ]
