@@ -1,0 +1,1 @@
+bench/bench_explore.ml: Array Explore_bench Format List Printf Sys

@@ -1,0 +1,1 @@
+bench/explore_bench.ml: Array Engine Fmt Fun Gadgets Instance List Metrics Model Modelcheck Option Printf Spp String

@@ -1,0 +1,180 @@
+(* Machine-readable state-space-exploration benchmarks.
+
+   Runs each (instance, model) case once sequentially (domains=1) and once
+   on a worker pool (domains=N), checks that verdicts and reachable-state
+   counts agree, and renders everything as BENCH_explore.json so the perf
+   trajectory is tracked across PRs.  Schema: see EXPERIMENTS.md. *)
+
+open Spp
+open Engine
+module Json = Metrics.Json
+
+let schema = "commrouting/bench_explore/v1"
+
+let model s = Option.get (Model.of_string s)
+
+type case = {
+  instance_name : string;
+  inst : Instance.t;
+  m : Model.t;
+  config : Modelcheck.Explore.config;
+}
+
+let case ?(config = Modelcheck.Explore.default_config) instance_name inst mname =
+  { instance_name; inst; m = model mname; config }
+
+(* The fast subset runs in well under a second; the deep cases are the Fig. 6
+   exhaustive polling runs the paper harness also performs (~90s each). *)
+let fast_cases () =
+  [
+    case "DISAGREE" Gadgets.disagree "R1O";
+    case "DISAGREE" Gadgets.disagree "REA";
+    case "DISAGREE" Gadgets.disagree "UMS";
+    case "FIG6" Gadgets.fig6 "REA";
+  ]
+
+let deep_cases () = [ case "FIG6" Gadgets.fig6 "R1A"; case "FIG6" Gadgets.fig6 "RMA" ]
+
+type run = {
+  domains : int;
+  states : int;
+  edges : int;
+  wall_s : float;
+  states_per_sec : float;
+  dedup_rate : float;
+  peak_frontier : int;
+  pruned : bool;
+  truncated : bool;
+  verdict : string;
+}
+
+let run_one c ~domains =
+  let metrics = Metrics.create () in
+  let graph = Modelcheck.Explore.explore ~config:c.config ~domains ~metrics c.inst c.m in
+  let verdict =
+    Metrics.timed ~m:metrics "analyze" (fun () ->
+        Modelcheck.Oscillation.verdict_name
+          (Modelcheck.Oscillation.analyze_graph c.inst graph))
+  in
+  {
+    domains;
+    states = Array.length graph.Modelcheck.Explore.states;
+    edges = Metrics.edges metrics;
+    wall_s = Metrics.phase_time metrics "explore";
+    states_per_sec = Metrics.states_per_sec metrics;
+    dedup_rate = Metrics.dedup_rate metrics;
+    peak_frontier = Metrics.peak_frontier metrics;
+    pruned = graph.Modelcheck.Explore.pruned;
+    truncated = graph.Modelcheck.Explore.truncated;
+    verdict;
+  }
+
+let json_of_run r =
+  Json.Obj
+    [
+      ("domains", Json.Num (float_of_int r.domains));
+      ("states", Json.Num (float_of_int r.states));
+      ("edges", Json.Num (float_of_int r.edges));
+      ("wall_s", Json.Num r.wall_s);
+      ("states_per_sec", Json.Num r.states_per_sec);
+      ("dedup_rate", Json.Num r.dedup_rate);
+      ("peak_frontier", Json.Num (float_of_int r.peak_frontier));
+      ("pruned", Json.Bool r.pruned);
+      ("truncated", Json.Bool r.truncated);
+      ("verdict", Json.Str r.verdict);
+    ]
+
+type case_result = {
+  c : case;
+  runs : run list;
+  agree : bool; (* verdicts and state counts identical across domain counts *)
+}
+
+let run_case ~domains_list c =
+  let runs = List.map (fun d -> run_one c ~domains:d) domains_list in
+  let agree =
+    match runs with
+    | [] -> true
+    | r0 :: rest ->
+      List.for_all
+        (fun r -> String.equal r.verdict r0.verdict && r.states = r0.states)
+        rest
+  in
+  { c; runs; agree }
+
+let json_of_case_result cr =
+  let speedup =
+    match
+      ( List.find_opt (fun r -> r.domains = 1) cr.runs,
+        List.find_opt (fun r -> r.domains > 1) cr.runs )
+    with
+    | Some seq, Some par when par.wall_s > 0. -> Some (seq.wall_s /. par.wall_s)
+    | _ -> None
+  in
+  Json.Obj
+    ([
+       ("instance", Json.Str cr.c.instance_name);
+       ("model", Json.Str (Model.to_string cr.c.m));
+       ("channel_bound", Json.Num (float_of_int cr.c.config.Modelcheck.Explore.channel_bound));
+       ("max_states", Json.Num (float_of_int cr.c.config.Modelcheck.Explore.max_states));
+       ("runs", Json.List (List.map json_of_run cr.runs));
+       ("agree", Json.Bool cr.agree);
+     ]
+    @ match speedup with None -> [] | Some s -> [ ("speedup", Json.Num s) ])
+
+(* [par_domains]: DOMAINS when set and > 1, else 2 — there is always one
+   parallel setting to compare against the sequential baseline. *)
+let par_domains () = max 2 (Modelcheck.Explore.default_domains ())
+
+let run_all ~deep ~domains =
+  let domains_list = [ 1; domains ] in
+  let cases = fast_cases () @ (if deep then deep_cases () else []) in
+  List.map (run_case ~domains_list) cases
+
+let to_json ~deep ~domains results =
+  Json.Obj
+    [
+      ("schema", Json.Str schema);
+      ("deep", Json.Bool deep);
+      ("domains_compared", Json.List [ Json.Num 1.; Json.Num (float_of_int domains) ]);
+      ("cases", Json.List (List.map json_of_case_result results));
+    ]
+
+let write_file path contents =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc contents)
+
+(* Runs the suite, writes [path], validates that the artifact re-parses and
+   that every case agreed across domain counts.  Returns the failures. *)
+let emit ?(path = "BENCH_explore.json") ~deep ~domains () =
+  let results = run_all ~deep ~domains in
+  let text = Json.to_string (to_json ~deep ~domains results) in
+  write_file path text;
+  let parse_failure =
+    match Json.parse text with
+    | Ok v ->
+      if Json.member "cases" v = None then [ "emitted JSON lacks a cases field" ] else []
+    | Error e -> [ "emitted JSON does not parse: " ^ e ]
+  in
+  let disagreements =
+    List.filter_map
+      (fun cr ->
+        if cr.agree then None
+        else
+          Some
+            (Printf.sprintf "%s/%s: domains disagree on verdict or state count"
+               cr.c.instance_name (Model.to_string cr.c.m)))
+      results
+  in
+  (results, parse_failure @ disagreements)
+
+let pp_summary ppf results =
+  List.iter
+    (fun cr ->
+      List.iter
+        (fun r ->
+          Fmt.pf ppf "  %-9s %-4s domains=%d states=%-7d %8.0f states/s (%.2fs) %s@."
+            cr.c.instance_name (Model.to_string cr.c.m) r.domains r.states
+            r.states_per_sec r.wall_s r.verdict)
+        cr.runs)
+    results

@@ -442,6 +442,14 @@ let reachable_solutions () =
       ("BAD-GADGET", Gadgets.bad_gadget, [ "UEA" ]);
     ]
 
+let explore_bench () =
+  section "EXPLORE BENCH: sequential vs parallel exploration (BENCH_explore.json)";
+  let domains = Explore_bench.par_domains () in
+  let results, failures = Explore_bench.emit ~path:"BENCH_explore.json" ~deep ~domains () in
+  Explore_bench.pp_summary Format.std_formatter results;
+  List.iter (fun f -> Format.printf "  FAIL: %s@." f) failures;
+  Format.printf "wrote BENCH_explore.json (schema %s)@." Explore_bench.schema
+
 let micro_benchmarks () =
   section "Bechamel micro-benchmarks";
   let open Bechamel in
@@ -524,6 +532,7 @@ let () =
   mrai_experiment ();
   state_space_sizes ();
   reachable_solutions ();
+  explore_bench ();
   fact_audit ();
   micro_benchmarks ();
   Format.printf "@.total harness time: %.1fs@." (Unix.gettimeofday () -. t0)

@@ -1,1 +1,1 @@
-bin/oscillation_check.ml: Arg Cmd Cmdliner Engine Format Instances List Model Modelcheck Printf String Term Unix
+bin/oscillation_check.ml: Arg Cmd Cmdliner Engine Format Instances List Metrics Model Modelcheck Printf String Term Unix

@@ -5,7 +5,7 @@
 open Engine
 open Cmdliner
 
-let check instance_name model_names bound max_states verify =
+let check instance_name model_names bound max_states verify domains show_metrics =
   match Instances.find instance_name with
   | Error (`Msg m) -> `Error (false, m)
   | Ok inst ->
@@ -24,7 +24,8 @@ let check instance_name model_names bound max_states verify =
     List.iter
       (fun m ->
         let t0 = Unix.gettimeofday () in
-        let v = Modelcheck.Oscillation.analyze ~config inst m in
+        let metrics = Metrics.create () in
+        let v = Modelcheck.Oscillation.analyze ~config ?domains ~metrics inst m in
         let extra =
           match v with
           | Modelcheck.Oscillation.Oscillates w when verify ->
@@ -35,6 +36,8 @@ let check instance_name model_names bound max_states verify =
         Format.printf "%-4s %a%s (%.2fs)@." (Model.to_string m)
           Modelcheck.Oscillation.pp_verdict v extra
           (Unix.gettimeofday () -. t0);
+        if show_metrics then
+          Format.printf "     %s@." (Metrics.Json.to_string (Metrics.to_json metrics));
         Format.print_flush ())
       models;
     `Ok ()
@@ -58,10 +61,25 @@ let states_arg =
 let verify_arg =
   Arg.(value & flag & info [ "verify" ] ~doc:"Replay oscillation witnesses.")
 
+let domains_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "domains" ] ~docv:"N"
+        ~doc:
+          "Exploration worker domains (default: the DOMAINS environment variable, \
+           else 1).")
+
+let metrics_arg =
+  Arg.(value & flag & info [ "metrics" ] ~doc:"Print per-model exploration metrics as JSON.")
+
 let cmd =
   let doc = "decide fair-oscillation possibility per communication model" in
   Cmd.v
     (Cmd.info "oscillation_check" ~doc)
-    Term.(ret (const check $ instance_arg $ models_arg $ bound_arg $ states_arg $ verify_arg))
+    Term.(
+      ret
+        (const check $ instance_arg $ models_arg $ bound_arg $ states_arg $ verify_arg
+       $ domains_arg $ metrics_arg))
 
 let () = exit (Cmd.eval cmd)

@@ -1,1 +1,1 @@
-lib/engine/executor.ml: Activation Fmt Hashtbl List Model Scheduler Seq State Step Trace
+lib/engine/executor.ml: Activation Fmt Hashtbl List Metrics Model Scheduler Seq State Step Trace

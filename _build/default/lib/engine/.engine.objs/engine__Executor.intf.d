@@ -1,1 +1,1 @@
-lib/engine/executor.mli: Activation Format Model Scheduler Spp State Step Trace
+lib/engine/executor.mli: Activation Format Metrics Model Scheduler Spp State Step Trace

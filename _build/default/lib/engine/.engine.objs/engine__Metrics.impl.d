@@ -1,0 +1,1 @@
+lib/engine/metrics.ml: Atomic Buffer Char Float Fmt Fun List Mutex Printf String Unix

@@ -16,7 +16,15 @@ let check_model inst model entry =
         (Fmt.str "Executor: entry %a violates model %a" (Activation.pp inst) entry
            Model.pp m)
 
-let run_from ?export ?validate ?(max_steps = 10_000) ~state inst (sched : Scheduler.t) =
+let record_outcome metrics (outcome : Step.outcome) =
+  match metrics with
+  | None -> ()
+  | Some m ->
+    Metrics.incr_steps m;
+    Metrics.add_messages m (List.length outcome.Step.pushed)
+
+let run_from ?export ?validate ?metrics ?(max_steps = 10_000) ~state inst
+    (sched : Scheduler.t) =
   let init = state in
   (* Cycle detection: remember states per schedule phase. *)
   let seen : (int * State.t, int) Hashtbl.t = Hashtbl.create 97 in
@@ -28,6 +36,7 @@ let run_from ?export ?validate ?(max_steps = 10_000) ~state inst (sched : Schedu
       | Some (entry, rest) ->
         check_model inst validate entry;
         let outcome = Step.apply ?export inst state entry in
+        record_outcome metrics outcome;
         let record = { Trace.index; entry; outcome } in
         let acc = record :: acc in
         let state' = outcome.Step.state in
@@ -46,20 +55,21 @@ let run_from ?export ?validate ?(max_steps = 10_000) ~state inst (sched : Schedu
           | _ -> loop acc (index + 1) state' rest
         end
   in
-  loop [] 1 init sched.Scheduler.entries
+  Metrics.timed ?m:metrics "executor" (fun () -> loop [] 1 init sched.Scheduler.entries)
 
-let run ?export ?validate ?max_steps inst sched =
-  run_from ?export ?validate ?max_steps ~state:(State.initial inst) inst sched
+let run ?export ?validate ?metrics ?max_steps inst sched =
+  run_from ?export ?validate ?metrics ?max_steps ~state:(State.initial inst) inst sched
 
-let run_entries ?export ?validate inst entries =
+let run_entries ?export ?validate ?metrics inst entries =
   let init = State.initial inst in
-  let _, steps =
+  let _, _, steps =
     List.fold_left
-      (fun (state, acc) entry ->
+      (fun (state, index, acc) entry ->
         check_model inst validate entry;
         let outcome = Step.apply ?export inst state entry in
-        (outcome.Step.state, { Trace.index = List.length acc + 1; entry; outcome } :: acc))
-      (init, []) entries
+        record_outcome metrics outcome;
+        (outcome.Step.state, index + 1, { Trace.index; entry; outcome } :: acc))
+      (init, 1, []) entries
   in
   Trace.make inst init (List.rev steps)
 

@@ -16,6 +16,7 @@ type run = { trace : Trace.t; stop : stop }
 val run :
   ?export:Step.export ->
   ?validate:Model.t ->
+  ?metrics:Metrics.t ->
   ?max_steps:int ->
   Spp.Instance.t ->
   Scheduler.t ->
@@ -24,11 +25,13 @@ val run :
     (only detected when the scheduler declares a period), exhaustion of the
     sequence, or [max_steps] (default 10_000).  With [validate], every entry
     is checked against the model first and [Invalid_argument] is raised on a
-    violation. *)
+    violation.  With [metrics], steps and pushed messages are counted and
+    the wall time is recorded as an "executor" phase. *)
 
 val run_from :
   ?export:Step.export ->
   ?validate:Model.t ->
+  ?metrics:Metrics.t ->
   ?max_steps:int ->
   state:State.t ->
   Spp.Instance.t ->
@@ -40,6 +43,7 @@ val run_from :
 val run_entries :
   ?export:Step.export ->
   ?validate:Model.t ->
+  ?metrics:Metrics.t ->
   Spp.Instance.t ->
   Activation.t list ->
   Trace.t

@@ -1,0 +1,89 @@
+(** Observability for the execution and model-checking hot paths.
+
+    A [t] is a bag of domain-safe counters (atomics) plus named wall-clock
+    phase timers.  One value is typically threaded through an entire
+    analysis ({!Modelcheck.Explore} exploration, oscillation analysis, or an
+    executor run) and then rendered as JSON for perf tracking
+    ([BENCH_explore.json]) or pretty-printed for humans. *)
+
+type t
+
+val create : unit -> t
+
+(** {2 Counters} — safe to call concurrently from several domains. *)
+
+val incr_interned : t -> unit
+(** A fresh state was added to the exploration's intern table. *)
+
+val incr_dedup : t -> unit
+(** A successor state was already interned (dedup hit). *)
+
+val add_edges : t -> int -> unit
+val incr_pruned : t -> unit
+(** A successor was discarded because a channel exceeded the bound. *)
+
+val incr_truncated : t -> unit
+(** A fresh successor was discarded because [max_states] was reached. *)
+
+val incr_steps : t -> unit
+(** One executor step (one activation applied). *)
+
+val add_messages : t -> int -> unit
+(** Messages pushed into channels by executor steps. *)
+
+val observe_frontier : t -> int -> unit
+(** Record the current frontier size; keeps the maximum seen. *)
+
+val set_domains : t -> int -> unit
+
+(** {2 Readers} *)
+
+val states_interned : t -> int
+val dedup_hits : t -> int
+val edges : t -> int
+val pruned_writes : t -> int
+val truncated_interns : t -> int
+val steps : t -> int
+val messages : t -> int
+val peak_frontier : t -> int
+val domains : t -> int
+
+val dedup_rate : t -> float
+(** hits / (hits + fresh); 0 when nothing was interned. *)
+
+val states_per_sec : t -> float
+(** Fresh states per second of recorded "explore" phase time. *)
+
+(** {2 Phases} *)
+
+val add_phase : t -> string -> float -> unit
+val phases : t -> (string * float) list
+(** In order of completion; a phase name can repeat. *)
+
+val phase_time : t -> string -> float
+(** Total seconds recorded under that name. *)
+
+val timed : ?m:t -> string -> (unit -> 'a) -> 'a
+(** Run the thunk, recording its wall time as a phase when [m] is given. *)
+
+(** {2 JSON} *)
+
+module Json : sig
+  type v =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | List of v list
+    | Obj of (string * v) list
+
+  val to_string : v -> string
+  val parse : string -> (v, string) result
+  (** Minimal strict parser (ASCII escapes only), enough to validate the
+      bench artifacts without an external dependency. *)
+
+  val member : string -> v -> v option
+end
+
+val to_json : t -> Json.v
+val pp : Format.formatter -> t -> unit

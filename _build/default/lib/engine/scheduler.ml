@@ -33,6 +33,8 @@ let round_robin_cycle inst (m : Model.t) =
     (Instance.nodes inst)
 
 let forever (cycle : Activation.t list) : Activation.t Seq.t =
+  if cycle = [] then
+    invalid_arg "Scheduler.forever: empty cycle (nothing to repeat)";
   let arr = Array.of_list cycle in
   let n = Array.length arr in
   Seq.unfold (fun i -> Some (arr.(i mod n), i + 1)) 0

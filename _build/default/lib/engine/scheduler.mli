@@ -31,11 +31,12 @@ val of_entries : ?period:int -> Activation.t list -> t
     one whose executor may treat as repeating). *)
 
 val cycle : Activation.t list -> t
-(** Repeats the given entries forever; [period] is the list length. *)
+(** Repeats the given entries forever; [period] is the list length.
+    Raises [Invalid_argument] on an empty list. *)
 
 val prefixed : Activation.t list -> Activation.t list -> t
 (** [prefixed prefix cycle] plays [prefix] once and then repeats [cycle]
-    forever.  The declared period is the cycle length, which is sound for
+    forever.  Raises [Invalid_argument] when [cycle] is empty.  The declared period is the cycle length, which is sound for
     divergence detection as long as states repeating one cycle apart are
     compared at equal phases (they are: phase is the step index modulo the
     period). *)

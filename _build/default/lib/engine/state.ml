@@ -1,24 +1,40 @@
 module IMap = Map.Make (Int)
 open Spp
 
+(* Each component binding is hashed with a distinct tag and XOR-folded into
+   a running digest, so single-binding updates adjust the digest in O(log n)
+   instead of rehashing four full [bindings] lists per lookup.  XOR is its
+   own inverse: removing a binding re-XORs the same value out. *)
+let h_pi v p = Hashtbl.hash (0x50, v, (p : Path.t))
+let h_rho (c : Channel.id) p = Hashtbl.hash (0x51, c, (p : Path.t))
+let h_ann v p = Hashtbl.hash (0x52, v, (p : Path.t))
+let h_chan (c : Channel.id) msgs = Hashtbl.hash (0x53, c, (msgs : Path.t list))
+
 type t = {
   pi : Path.t IMap.t; (* absent = epsilon *)
   rho : Path.t Channel.Map.t; (* absent = epsilon *)
   ann : Path.t IMap.t; (* absent = epsilon *)
   chans : Channel.t;
+  dig_core : int; (* XOR of binding hashes of pi, rho, ann *)
+  dig_chans : int; (* XOR of binding hashes of chans *)
 }
 
-let normalized_add_i k p m = if Path.is_epsilon p then IMap.remove k m else IMap.add k p m
+let digest t = (t.dig_core lxor t.dig_chans) land max_int
+let hash = digest
 
-let normalized_add_c k p m =
-  if Path.is_epsilon p then Channel.Map.remove k m else Channel.Map.add k p m
+let chans_digest chans =
+  Channel.Map.fold (fun c msgs acc -> acc lxor h_chan c msgs) chans 0
 
 let initial inst =
+  let d = Instance.dest inst in
+  let p0 = Path.of_nodes [ d ] in
   {
-    pi = IMap.singleton (Instance.dest inst) (Path.of_nodes [ Instance.dest inst ]);
+    pi = IMap.singleton d p0;
     rho = Channel.Map.empty;
     ann = IMap.empty;
     chans = Channel.empty;
+    dig_core = h_pi d p0;
+    dig_chans = 0;
   }
 
 let find_i k m = match IMap.find_opt k m with Some p -> p | None -> Path.epsilon
@@ -34,10 +50,32 @@ let rho_bindings t = Channel.Map.bindings t.rho
 
 let assignment inst t = Assignment.make inst (fun v -> pi t v)
 
-let with_pi t v p = { t with pi = normalized_add_i v p t.pi }
-let with_rho t c p = { t with rho = normalized_add_c c p t.rho }
-let with_announced t v p = { t with ann = normalized_add_i v p t.ann }
-let with_channels t chans = { t with chans }
+(* The digest delta of replacing a binding: XOR out the old hash (if the key
+   was bound) and XOR in the new one (unless the new value is epsilon, which
+   is not stored). *)
+let delta_i h k p old =
+  (match old with Some q -> h k q | None -> 0)
+  lxor (if Path.is_epsilon p then 0 else h k p)
+
+let with_pi t v p =
+  let dig_core = t.dig_core lxor delta_i h_pi v p (IMap.find_opt v t.pi) in
+  let pi = if Path.is_epsilon p then IMap.remove v t.pi else IMap.add v p t.pi in
+  { t with pi; dig_core }
+
+let with_rho t c p =
+  let dig_core = t.dig_core lxor delta_i h_rho c p (Channel.Map.find_opt c t.rho) in
+  let rho =
+    if Path.is_epsilon p then Channel.Map.remove c t.rho else Channel.Map.add c p t.rho
+  in
+  { t with rho; dig_core }
+
+let with_announced t v p =
+  let dig_core = t.dig_core lxor delta_i h_ann v p (IMap.find_opt v t.ann) in
+  let ann = if Path.is_epsilon p then IMap.remove v t.ann else IMap.add v p t.ann in
+  { t with ann; dig_core }
+
+let with_channels t chans =
+  if t.chans == chans then t else { t with chans; dig_chans = chans_digest chans }
 
 let best_choice inst t v =
   if v = Instance.dest inst then Path.of_nodes [ v ]
@@ -62,7 +100,9 @@ let is_quiescent inst t =
        (Instance.nodes inst)
 
 let equal (a : t) b =
-  IMap.equal Path.equal a.pi b.pi
+  a.dig_core = b.dig_core
+  && a.dig_chans = b.dig_chans
+  && IMap.equal Path.equal a.pi b.pi
   && Channel.Map.equal Path.equal a.rho b.rho
   && IMap.equal Path.equal a.ann b.ann
   && Channel.Map.equal (List.equal Path.equal) a.chans b.chans
@@ -77,13 +117,6 @@ let compare (a : t) b =
       let c = IMap.compare Path.compare a.ann b.ann in
       if c <> 0 then c
       else Channel.Map.compare (List.compare Path.compare) a.chans b.chans
-
-let hash t =
-  Hashtbl.hash
-    ( IMap.bindings t.pi,
-      Channel.Map.bindings t.rho,
-      IMap.bindings t.ann,
-      Channel.Map.bindings t.chans )
 
 let pp inst ppf t =
   let pp_path = Instance.pp_path inst in

@@ -40,5 +40,14 @@ val is_quiescent : Spp.Instance.t -> t -> bool
 
 val equal : t -> t -> bool
 val compare : t -> t -> int
+
+val digest : t -> int
+(** Constant-time content digest, maintained incrementally by the [with_*]
+    updates (each rebinding XORs the affected binding hash in and out).
+    Equal states have equal digests; collisions are possible, so use
+    {!equal} to confirm. *)
+
 val hash : t -> int
+(** Alias of {!digest}, kept for [Hashtbl.Make] functors. *)
+
 val pp : Spp.Instance.t -> Format.formatter -> t -> unit

@@ -1,1 +1,1 @@
-lib/modelcheck/explore.ml: Array Channel Engine Enumerate Hashtbl List Model Queue Spp State Step
+lib/modelcheck/explore.ml: Array Atomic Channel Condition Domain Engine Enumerate Hashtbl List Metrics Model Mutex Queue Spp State Step String Sys

@@ -1,1 +1,1 @@
-lib/modelcheck/oscillation.ml: Activation Array Channel Engine Enumerate Explore Fmt Hashtbl Hetero Instance List Model Option Path Queue Scc Set Spp State Step
+lib/modelcheck/oscillation.ml: Activation Array Channel Engine Enumerate Explore Fmt Hashtbl Hetero Instance List Metrics Model Option Path Queue Scc Set Spp State Step

@@ -49,19 +49,19 @@ let read_options (model : Model.t) c ~m =
          (List.init m (fun i -> i + 1))
 
 let label v (choices : (Activation.read * bool * bool) list) =
-  let entry = Activation.single v (List.map (fun (r, _, _) -> r) choices) in
-  {
-    entry;
-    reads = List.map (fun ((r : Activation.read), _, _) -> r.Activation.chan) choices;
-    drops =
-      List.filter_map
-        (fun ((r : Activation.read), d, _) -> if d then Some r.Activation.chan else None)
-        choices;
-    cleans =
-      List.filter_map
-        (fun ((r : Activation.read), _, k) -> if k then Some r.Activation.chan else None)
-        choices;
-  }
+  (* Single right-to-left pass: this runs once per candidate edge of every
+     explored state, so avoid traversing [choices] four times. *)
+  let rs, reads, drops, cleans =
+    List.fold_left
+      (fun (rs, reads, drops, cleans) ((r : Activation.read), d, k) ->
+        ( r :: rs,
+          r.Activation.chan :: reads,
+          (if d then r.Activation.chan :: drops else drops),
+          if k then r.Activation.chan :: cleans else cleans ))
+      ([], [], [], [])
+      (List.rev choices)
+  in
+  { entry = Activation.single v rs; reads; drops; cleans }
 
 (* Cartesian product of per-channel option lists. *)
 let rec product = function

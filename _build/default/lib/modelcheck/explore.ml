@@ -4,6 +4,12 @@ type config = { channel_bound : int; max_states : int }
 
 let default_config = { channel_bound = 4; max_states = 200_000 }
 
+let default_domains () =
+  match Sys.getenv_opt "DOMAINS" with
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with Some n when n >= 1 -> n | _ -> 1)
+  | None -> 1
+
 type edge = { dst : int; label : Enumerate.labeled }
 
 type graph = {
@@ -17,7 +23,7 @@ module StateTbl = Hashtbl.Make (struct
   type t = State.t
 
   let equal = State.equal
-  let hash = State.hash
+  let hash = State.digest
 end)
 
 (* For reliable polling models (msg = All, no drops) only the newest message
@@ -63,57 +69,248 @@ let project_state inst st =
   in
   State.with_channels st projected_chans
 
-let explore_with ?(config = default_config) inst ~successors ~collapse =
+let tick metrics f = match metrics with Some m -> f m | None -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Sequential exploration.  The [max_states] bound is enforced at intern
+   time: the graph never holds more than [max_states] states, every held
+   state has an accurate adjacency row, and edges to states beyond the
+   bound are dropped with [truncated] set (symmetric with channel-bound
+   pruning). *)
+
+let explore_seq ~config ?metrics inst ~successors ~collapse =
+  let max_states = max 1 config.max_states in
   let index = StateTbl.create 1024 in
   let states = ref [] and n_states = ref 0 in
-  let adjacency : (int, edge list) Hashtbl.t = Hashtbl.create 1024 in
+  let adjacency = ref [] in
   let pruned = ref false and truncated = ref false in
   let queue = Queue.create () in
   let intern st =
     match StateTbl.find_opt index st with
-    | Some i -> (i, false)
+    | Some i ->
+      tick metrics Metrics.incr_dedup;
+      Some (i, false)
     | None ->
-      let i = !n_states in
-      StateTbl.add index st i;
-      states := st :: !states;
-      incr n_states;
-      (i, true)
+      if !n_states >= max_states then begin
+        truncated := true;
+        tick metrics Metrics.incr_truncated;
+        None
+      end
+      else begin
+        let i = !n_states in
+        StateTbl.add index st i;
+        states := st :: !states;
+        incr n_states;
+        tick metrics Metrics.incr_interned;
+        Some (i, true)
+      end
   in
   let init = State.initial inst in
-  let i0, _ = intern init in
-  Queue.add (i0, init) queue;
+  (match intern init with Some _ -> () | None -> assert false);
+  Queue.add (0, init) queue;
   while not (Queue.is_empty queue) do
     let i, st = Queue.pop queue in
-    if !n_states > config.max_states then begin
-      truncated := true;
-      Queue.clear queue
-    end
-    else begin
-      let edges =
-        List.filter_map
-          (fun (labeled : Enumerate.labeled) ->
-            let outcome = Step.apply inst st labeled.Enumerate.entry in
-            let st' = project_state inst (collapse outcome.Step.state) in
-            if Channel.max_occupancy (State.channels st') > config.channel_bound then begin
-              pruned := true;
-              None
-            end
-            else begin
-              let j, fresh = intern st' in
+    let edges =
+      List.filter_map
+        (fun (labeled : Enumerate.labeled) ->
+          let outcome = Step.apply inst st labeled.Enumerate.entry in
+          let st' = project_state inst (collapse outcome.Step.state) in
+          if Channel.max_occupancy (State.channels st') > config.channel_bound then begin
+            pruned := true;
+            tick metrics Metrics.incr_pruned;
+            None
+          end
+          else begin
+            match intern st' with
+            | None -> None
+            | Some (j, fresh) ->
               if fresh then Queue.add (j, st') queue;
               Some { dst = j; label = labeled }
-            end)
-          (successors st)
-      in
-      Hashtbl.replace adjacency i edges
-    end
+          end)
+        (successors st)
+    in
+    tick metrics (fun m ->
+        Metrics.add_edges m (List.length edges);
+        Metrics.observe_frontier m (Queue.length queue));
+    adjacency := (i, edges) :: !adjacency
   done;
   let states_arr = Array.of_list (List.rev !states) in
   let adj = Array.make (Array.length states_arr) [] in
-  Hashtbl.iter (fun i es -> if i < Array.length adj then adj.(i) <- es) adjacency;
+  List.iter (fun (i, es) -> adj.(i) <- es) !adjacency;
   { states = states_arr; adjacency = adj; pruned = !pruned; truncated = !truncated }
 
-let explore ?config inst model =
-  explore_with ?config inst
+(* ------------------------------------------------------------------ *)
+(* Parallel exploration: a hand-rolled Domain pool over a shared frontier.
+   Workers pop batches of frontier states, expand them fully in parallel
+   (Step.apply, projection, collapse are pure), and intern successors in a
+   lock-striped table sharded by State.digest.  Global state ids come from
+   a bounded CAS counter, so the [max_states] cap is exact.  Exploration
+   order is nondeterministic, hence so is the numbering — but the reachable
+   state SET, [pruned]/[truncated], and every derived verdict match the
+   sequential explorer (state 0 is always the initial state). *)
+
+type shard = { mu : Mutex.t; tbl : int StateTbl.t }
+
+let explore_par ~config ~domains ?metrics inst ~successors ~collapse =
+  let max_states = max 1 config.max_states in
+  let n_shards = 64 in
+  let shards =
+    Array.init n_shards (fun _ -> { mu = Mutex.create (); tbl = StateTbl.create 256 })
+  in
+  let counter = Atomic.make 0 in
+  let pruned = Atomic.make false and truncated = Atomic.make false in
+  (* Claim the next state id unless the bound is exhausted. *)
+  let rec claim_id () =
+    let n = Atomic.get counter in
+    if n >= max_states then None
+    else if Atomic.compare_and_set counter n (n + 1) then Some n
+    else claim_id ()
+  in
+  let intern st =
+    let sh = shards.(State.digest st mod n_shards) in
+    Mutex.lock sh.mu;
+    match StateTbl.find_opt sh.tbl st with
+    | Some i ->
+      Mutex.unlock sh.mu;
+      tick metrics Metrics.incr_dedup;
+      Some (i, false)
+    | None -> (
+      match claim_id () with
+      | None ->
+        Mutex.unlock sh.mu;
+        Atomic.set truncated true;
+        tick metrics Metrics.incr_truncated;
+        None
+      | Some i ->
+        StateTbl.add sh.tbl st i;
+        Mutex.unlock sh.mu;
+        tick metrics Metrics.incr_interned;
+        Some (i, true))
+  in
+  (* Shared frontier with termination detection: [pending] counts popped but
+     not yet expanded states; the exploration is over when the queue is
+     empty and nothing is pending. *)
+  let frontier : (int * State.t) Queue.t = Queue.create () in
+  let fmu = Mutex.create () and fcond = Condition.create () in
+  let pending = ref 0 and finished = ref false in
+  let batch_size = 16 in
+  let push_frontier items =
+    if items <> [] then begin
+      Mutex.lock fmu;
+      List.iter (fun x -> Queue.add x frontier) items;
+      tick metrics (fun m -> Metrics.observe_frontier m (Queue.length frontier));
+      Condition.broadcast fcond;
+      Mutex.unlock fmu
+    end
+  in
+  let pop_batch () =
+    Mutex.lock fmu;
+    let rec wait () =
+      if !finished then begin
+        Mutex.unlock fmu;
+        None
+      end
+      else if Queue.is_empty frontier then
+        if !pending = 0 then begin
+          finished := true;
+          Condition.broadcast fcond;
+          Mutex.unlock fmu;
+          None
+        end
+        else begin
+          Condition.wait fcond fmu;
+          wait ()
+        end
+      else begin
+        let batch = ref [] and n = ref 0 in
+        while (not (Queue.is_empty frontier)) && !n < batch_size do
+          batch := Queue.pop frontier :: !batch;
+          incr n
+        done;
+        pending := !pending + !n;
+        Mutex.unlock fmu;
+        Some !batch
+      end
+    in
+    wait ()
+  in
+  let done_batch k =
+    Mutex.lock fmu;
+    pending := !pending - k;
+    if !pending = 0 && Queue.is_empty frontier then begin
+      finished := true;
+      Condition.broadcast fcond
+    end;
+    Mutex.unlock fmu
+  in
+  let abort () =
+    Mutex.lock fmu;
+    finished := true;
+    Condition.broadcast fcond;
+    Mutex.unlock fmu
+  in
+  let expand (i, st) =
+    let fresh = ref [] in
+    let edges =
+      List.filter_map
+        (fun (labeled : Enumerate.labeled) ->
+          let outcome = Step.apply inst st labeled.Enumerate.entry in
+          let st' = project_state inst (collapse outcome.Step.state) in
+          if Channel.max_occupancy (State.channels st') > config.channel_bound then begin
+            Atomic.set pruned true;
+            tick metrics Metrics.incr_pruned;
+            None
+          end
+          else begin
+            match intern st' with
+            | None -> None
+            | Some (j, is_fresh) ->
+              if is_fresh then fresh := (j, st') :: !fresh;
+              Some { dst = j; label = labeled }
+          end)
+        (successors st)
+    in
+    tick metrics (fun m -> Metrics.add_edges m (List.length edges));
+    push_frontier !fresh;
+    (i, edges)
+  in
+  let worker () =
+    let rec go acc =
+      match pop_batch () with
+      | None -> acc
+      | Some batch ->
+        let acc = List.fold_left (fun acc item -> expand item :: acc) acc batch in
+        done_batch (List.length batch);
+        go acc
+    in
+    try go [] with e -> abort (); raise e
+  in
+  let init = State.initial inst in
+  (match intern init with Some (0, true) -> () | _ -> assert false);
+  push_frontier [ (0, init) ];
+  let handles = List.init domains (fun _ -> Domain.spawn worker) in
+  let rows = List.concat_map Domain.join handles in
+  let n = Atomic.get counter in
+  let states_arr = Array.make n init in
+  Array.iter (fun sh -> StateTbl.iter (fun st i -> states_arr.(i) <- st) sh.tbl) shards;
+  let adj = Array.make n [] in
+  List.iter (fun (i, es) -> adj.(i) <- es) rows;
+  {
+    states = states_arr;
+    adjacency = adj;
+    pruned = Atomic.get pruned;
+    truncated = Atomic.get truncated;
+  }
+
+let explore_with ?(config = default_config) ?domains ?metrics inst ~successors
+    ~collapse =
+  let domains = match domains with Some d -> max 1 d | None -> default_domains () in
+  tick metrics (fun m -> Metrics.set_domains m domains);
+  Metrics.timed ?m:metrics "explore" (fun () ->
+      if domains = 1 then explore_seq ~config ?metrics inst ~successors ~collapse
+      else explore_par ~config ~domains ?metrics inst ~successors ~collapse)
+
+let explore ?config ?domains ?metrics inst model =
+  explore_with ?config ?domains ?metrics inst
     ~successors:(Enumerate.successors inst model)
     ~collapse:(collapse_state model)

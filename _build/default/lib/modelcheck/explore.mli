@@ -3,12 +3,23 @@
     Channels are bounded: any write that would push a channel beyond
     [channel_bound] messages prunes that edge (and the result is flagged),
     so "no oscillation found" verdicts are exhaustive only over the bounded
-    space — see DESIGN.md.  Oscillation witnesses are sound regardless. *)
+    space — see DESIGN.md.  Oscillation witnesses are sound regardless.
+
+    Exploration can run on several OCaml domains ([?domains], or the
+    [DOMAINS] environment variable): workers share a frontier and intern
+    successors through a lock-striped table keyed by {!Engine.State.digest}.
+    The reachable state set, the [pruned]/[truncated] flags, and every
+    verdict derived from the graph are identical across domain counts; only
+    the state numbering (beyond index 0) may differ. *)
 
 type config = { channel_bound : int; max_states : int }
 
 val default_config : config
 (** channel bound 4, at most 200_000 states. *)
+
+val default_domains : unit -> int
+(** The [DOMAINS] environment variable when it parses as a positive
+    integer; 1 (sequential) otherwise. *)
 
 type edge = { dst : int; label : Enumerate.labeled }
 
@@ -16,20 +27,34 @@ type graph = {
   states : Engine.State.t array;  (** index 0 is the initial state *)
   adjacency : edge list array;
   pruned : bool;  (** some write hit the channel bound *)
-  truncated : bool;  (** exploration stopped at [max_states] *)
+  truncated : bool;
+      (** the [max_states] bound discarded at least one fresh successor; the
+          graph itself never exceeds the bound and has no dangling edges *)
 }
 
 val collapse_state : Engine.Model.t -> Engine.State.t -> Engine.State.t
 (** The last-message-only channel reduction, exact for reliable polling
     models (identity otherwise). *)
 
-val explore : ?config:config -> Spp.Instance.t -> Engine.Model.t -> graph
+val explore :
+  ?config:config ->
+  ?domains:int ->
+  ?metrics:Engine.Metrics.t ->
+  Spp.Instance.t ->
+  Engine.Model.t ->
+  graph
 
 val explore_with :
   ?config:config ->
+  ?domains:int ->
+  ?metrics:Engine.Metrics.t ->
   Spp.Instance.t ->
   successors:(Engine.State.t -> Enumerate.labeled list) ->
   collapse:(Engine.State.t -> Engine.State.t) ->
   graph
 (** Generalized entry point (heterogeneous models, custom reductions);
-    [collapse] must be an exact abstraction of the successor relation. *)
+    [collapse] must be an exact abstraction of the successor relation.
+    [successors] and [collapse] must be pure: with [domains > 1] they are
+    called concurrently from several domains.  With [metrics], interning,
+    dedup, pruning and frontier counters are recorded, plus an "explore"
+    wall-time phase. *)

@@ -343,9 +343,11 @@ let cycle_fair_from inst state cycle =
   List.for_all (fun c -> CS.mem c reads) (tracked_channels inst)
   && CS.subset drops cleans
 
-let analyze ?config inst model = analyze_graph inst (Explore.explore ?config inst model)
+let analyze ?config ?domains ?metrics inst model =
+  let graph = Explore.explore ?config ?domains ?metrics inst model in
+  Metrics.timed ?m:metrics "analyze" (fun () -> analyze_graph inst graph)
 
-let analyze_hetero ?config inst hetero =
+let analyze_hetero ?config ?domains ?metrics inst hetero =
   let models = List.map (Hetero.model_of hetero) (Instance.nodes inst) in
   let collapsible =
     List.for_all
@@ -353,14 +355,14 @@ let analyze_hetero ?config inst hetero =
       models
   in
   let graph =
-    Explore.explore_with ?config inst
+    Explore.explore_with ?config ?domains ?metrics inst
       ~successors:(Enumerate.successors_with inst (Hetero.model_of hetero))
       ~collapse:(fun st ->
         if collapsible then
           Explore.collapse_state (Model.make Model.Reliable Model.N_every Model.M_all) st
         else st)
   in
-  analyze_graph inst graph
+  Metrics.timed ?m:metrics "analyze" (fun () -> analyze_graph inst graph)
 
 let verify_witness_generic ?max_steps ~valid inst w =
   let max_steps =
@@ -388,5 +390,5 @@ let verify_witness ?max_steps inst model w =
 let verify_witness_hetero ?max_steps inst hetero w =
   verify_witness_generic ?max_steps ~valid:(Hetero.validates inst hetero) inst w
 
-let sweep ?config inst models =
-  List.map (fun m -> (m, analyze ?config inst m)) models
+let sweep ?config ?domains ?metrics inst models =
+  List.map (fun m -> (m, analyze ?config ?domains ?metrics inst m)) models

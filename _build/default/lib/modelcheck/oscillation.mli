@@ -21,11 +21,28 @@ type verdict =
 val pp_verdict : Format.formatter -> verdict -> unit
 val verdict_name : verdict -> string
 
+val analyze_graph : Spp.Instance.t -> Explore.graph -> verdict
+(** The verdict of an already-explored bounded state graph; lets callers
+    reuse one exploration for several analyses (and benchmark the phases
+    separately). *)
+
 val analyze :
-  ?config:Explore.config -> Spp.Instance.t -> Engine.Model.t -> verdict
+  ?config:Explore.config ->
+  ?domains:int ->
+  ?metrics:Engine.Metrics.t ->
+  Spp.Instance.t ->
+  Engine.Model.t ->
+  verdict
+(** [domains]/[metrics] are forwarded to {!Explore.explore}; with [metrics]
+    the graph analysis is additionally timed as an "analyze" phase. *)
 
 val analyze_hetero :
-  ?config:Explore.config -> Spp.Instance.t -> Engine.Hetero.t -> verdict
+  ?config:Explore.config ->
+  ?domains:int ->
+  ?metrics:Engine.Metrics.t ->
+  Spp.Instance.t ->
+  Engine.Hetero.t ->
+  verdict
 (** Exhaustive verdict when each node runs its own model (Sec. 5's open
     mixed-model question). *)
 
@@ -40,6 +57,8 @@ val verify_witness_hetero :
 
 val sweep :
   ?config:Explore.config ->
+  ?domains:int ->
+  ?metrics:Engine.Metrics.t ->
   Spp.Instance.t ->
   Engine.Model.t list ->
   (Engine.Model.t * verdict) list

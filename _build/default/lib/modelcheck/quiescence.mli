@@ -8,6 +8,7 @@
 
 val reachable_solutions :
   ?config:Explore.config ->
+  ?domains:int ->
   Spp.Instance.t ->
   Engine.Model.t ->
   Spp.Assignment.t list
@@ -16,6 +17,7 @@ val reachable_solutions :
 
 val stale_quiescent_assignments :
   ?config:Explore.config ->
+  ?domains:int ->
   Spp.Instance.t ->
   Engine.Model.t ->
   Spp.Assignment.t list
@@ -25,4 +27,5 @@ val stale_quiescent_assignments :
     fairness condition excludes in the limit — they are dead ends of unfair
     executions, not convergence points. *)
 
-val solution_count : ?config:Explore.config -> Spp.Instance.t -> Engine.Model.t -> int
+val solution_count :
+  ?config:Explore.config -> ?domains:int -> Spp.Instance.t -> Engine.Model.t -> int

@@ -31,17 +31,18 @@ let exhaustive_feasible inst =
   List.length (Instance.channels inst) <= 14
   && List.for_all (fun v -> List.length (Instance.neighbors inst v) <= 4) (Instance.nodes inst)
 
-let analyze ?(models = default_models) ?(config = default_report_config) inst =
+let analyze ?(models = default_models) ?(config = default_report_config) ?domains
+    ?metrics inst =
   let verdicts =
     List.map
       (fun model ->
         if exhaustive_feasible inst then begin
-          let v = Oscillation.analyze ~config inst model in
+          let v = Oscillation.analyze ~config ?domains ?metrics inst model in
           let reachable =
             match v with
             | Oscillation.Unknown _ -> None
             | Oscillation.Oscillates _ | Oscillation.Converges ->
-              Some (Quiescence.solution_count ~config inst model)
+              Some (Quiescence.solution_count ~config ?domains inst model)
           in
           {
             model;

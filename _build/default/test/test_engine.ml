@@ -690,6 +690,27 @@ let test_unfair_cycle_detected () =
   let cycle = [ single inst 'x' [ read1 inst 'd' 'x' ]; single inst 'y' [ read1 inst 'x' 'y' ]; single inst 'y' [ read1 inst 'd' 'y' ]; single inst 'd' [ read1 inst 'x' 'd' ] ] in
   Alcotest.(check bool) "unfair" false (Fairness.cycle_is_fair inst cycle)
 
+let test_empty_cycle_rejected () =
+  let expect_invalid name f =
+    match f () with
+    | (_ : Scheduler.t) -> Alcotest.failf "%s: empty cycle accepted" name
+    | exception Invalid_argument _ -> ()
+  in
+  expect_invalid "cycle" (fun () -> Scheduler.cycle []);
+  let inst = Gadgets.disagree in
+  let pre = Scheduler.prefix 3 (Scheduler.round_robin inst (model "RMS")) in
+  expect_invalid "prefixed" (fun () -> Scheduler.prefixed pre [])
+
+let test_trace_indices_sequential () =
+  let inst = Gadgets.disagree in
+  let entries = Scheduler.prefix 12 (Scheduler.round_robin inst (model "R1O")) in
+  let tr = Executor.run_entries inst entries in
+  let steps = Trace.steps tr in
+  Alcotest.(check int) "all steps recorded" 12 (List.length steps);
+  List.iteri
+    (fun i (s : Trace.step) -> Alcotest.(check int) "step index" (i + 1) s.Trace.index)
+    steps
+
 let () =
   Alcotest.run "engine"
     [
@@ -765,5 +786,7 @@ let () =
           Alcotest.test_case "max-steps exhaustion" `Quick test_executor_max_steps;
           Alcotest.test_case "fairness gaps" `Quick test_fairness_analyze_gaps;
           Alcotest.test_case "unfair cycle detected" `Quick test_unfair_cycle_detected;
+          Alcotest.test_case "empty cycle rejected" `Quick test_empty_cycle_rejected;
+          Alcotest.test_case "trace indices are 1..n" `Quick test_trace_indices_sequential;
         ] );
     ]

@@ -260,6 +260,47 @@ let test_explore_basics () =
   Alcotest.(check bool) "initial first" true
     (State.equal g.Explore.states.(0) (State.initial inst))
 
+let test_explore_truncation_bound () =
+  (* The [max_states] bound is enforced at intern time: the graph never
+     exceeds it, the truncation is reported, and no edge dangles past the
+     kept states. *)
+  let inst = Gadgets.disagree in
+  let config = { Explore.channel_bound = 4; max_states = 10 } in
+  let g = Explore.explore ~config inst (model "UMS") in
+  Alcotest.(check bool) "truncated" true g.Explore.truncated;
+  Alcotest.(check bool) "bounded" true (Array.length g.Explore.states <= 10);
+  Alcotest.(check int) "adjacency rows match states" (Array.length g.Explore.states)
+    (Array.length g.Explore.adjacency);
+  Array.iter
+    (fun edges ->
+      List.iter
+        (fun (e : Explore.edge) ->
+          if e.Explore.dst < 0 || e.Explore.dst >= Array.length g.Explore.states then
+            Alcotest.failf "dangling edge target %d" e.Explore.dst)
+        edges)
+    g.Explore.adjacency
+
+let prop_parallel_matches_sequential =
+  (* Sharded parallel exploration and the sequential explorer must agree on
+     the reachable state set (up to numbering), the completeness flags, and
+     the oscillation verdict derived from the graph. *)
+  QCheck2.Test.make ~name:"parallel exploration matches sequential" ~count:12
+    QCheck2.Gen.(pair (int_range 0 9_999) (int_range 0 23))
+    (fun (seed, model_ix) ->
+      let inst =
+        Generator.instance
+          { Generator.default with nodes = 4; seed; extra_edges = 1; max_paths_per_node = 2 }
+      in
+      let m = List.nth Model.all model_ix in
+      let config = { Explore.channel_bound = 2; max_states = 20_000 } in
+      let sequential = Explore.explore ~config ~domains:1 inst m in
+      let parallel = Explore.explore ~config ~domains:3 inst m in
+      Array.length sequential.Explore.states = Array.length parallel.Explore.states
+      && sequential.Explore.truncated = parallel.Explore.truncated
+      && sequential.Explore.pruned = parallel.Explore.pruned
+      && Oscillation.verdict_name (Oscillation.analyze_graph inst sequential)
+         = Oscillation.verdict_name (Oscillation.analyze_graph inst parallel))
+
 
 (* ------------------------------------------------------------------ *)
 (* Cross-validation between independent components *)
@@ -365,5 +406,8 @@ let () =
           Alcotest.test_case "UMS drops covered" `Quick
             test_unreliable_witness_has_drops_covered;
           Alcotest.test_case "explore basics" `Quick test_explore_basics;
+          Alcotest.test_case "truncation bound" `Quick test_explore_truncation_bound;
         ] );
+      ( "parallel",
+        List.map QCheck_alcotest.to_alcotest [ prop_parallel_matches_sequential ] );
     ]

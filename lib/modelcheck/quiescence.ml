@@ -1,7 +1,7 @@
 open Engine
 
-let quiescent_assignments ?config inst model =
-  let graph = Explore.explore ?config inst model in
+let quiescent_assignments ?config ?domains inst model =
+  let graph = Explore.explore ?config ?domains inst model in
   let assignments =
     Array.to_list graph.Explore.states
     |> List.filter (State.is_quiescent inst)
@@ -14,13 +14,14 @@ let quiescent_assignments ?config inst model =
   in
   List.sort Spp.Assignment.compare (dedupe assignments)
 
-let reachable_solutions ?config inst model =
-  List.filter (Spp.Assignment.is_solution inst) (quiescent_assignments ?config inst model)
+let reachable_solutions ?config ?domains inst model =
+  List.filter (Spp.Assignment.is_solution inst)
+    (quiescent_assignments ?config ?domains inst model)
 
-let stale_quiescent_assignments ?config inst model =
+let stale_quiescent_assignments ?config ?domains inst model =
   List.filter
     (fun a -> not (Spp.Assignment.is_solution inst a))
-    (quiescent_assignments ?config inst model)
+    (quiescent_assignments ?config ?domains inst model)
 
-let solution_count ?config inst model =
-  List.length (reachable_solutions ?config inst model)
+let solution_count ?config ?domains inst model =
+  List.length (reachable_solutions ?config ?domains inst model)

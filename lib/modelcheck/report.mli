@@ -22,12 +22,15 @@ type t = {
 val analyze :
   ?models:Engine.Model.t list ->
   ?config:Explore.config ->
+  ?domains:int ->
+  ?metrics:Engine.Metrics.t ->
   Spp.Instance.t ->
   t
 (** [models] defaults to the named families R1O, RMS, REA (one
     message-passing, one queueing, one polling model).  [config] defaults
     to a small budget (channel bound 3, 20k states) so reports terminate
     promptly on instances of any size, reporting "unknown" where the
-    budget does not suffice. *)
+    budget does not suffice.  [domains]/[metrics] are forwarded to the
+    underlying explorations. *)
 
 val to_string : Spp.Instance.t -> t -> string
