@@ -1,43 +1,7 @@
-(* Standalone entry point for the explore benchmark: writes the
-   BENCH_explore.json artifact and exits nonzero if the artifact fails to
-   parse or the domain settings disagree on any verdict/state count.  Used
-   by the @bench-smoke dune alias (with DEEP=0) and runnable by hand for
-   the full Fig. 6 R1A/RMA measurements. *)
+(* Standalone entry point for the explore benchmark.  All flag parsing and
+   DEEP env handling live in Explore_bench.main — keep this a one-liner so
+   the CLI cannot drift between entry points.  Used by the @bench-smoke
+   dune alias (with DEEP=0) and runnable by hand for the full Fig. 6
+   R1A/RMA measurements. *)
 
-let () =
-  let path = ref "BENCH_explore.json" in
-  let domains = ref (Explore_bench.par_domains ()) in
-  let deep =
-    ref
-      (match Sys.getenv_opt "DEEP" with
-      | Some "0" -> false
-      | Some _ | None -> true)
-  in
-  let rec parse_args = function
-    | [] -> ()
-    | "-o" :: p :: rest ->
-      path := p;
-      parse_args rest
-    | "--domains" :: n :: rest ->
-      (match int_of_string_opt n with
-      | Some d when d >= 2 -> domains := d
-      | _ -> prerr_endline "bench_explore: --domains expects an int >= 2"; exit 2);
-      parse_args rest
-    | "--fast" :: rest ->
-      deep := false;
-      parse_args rest
-    | arg :: _ ->
-      Printf.eprintf "bench_explore: unknown argument %s\n" arg;
-      Printf.eprintf "usage: bench_explore [-o FILE] [--domains N] [--fast]\n";
-      exit 2
-  in
-  parse_args (List.tl (Array.to_list Sys.argv));
-  let results, failures = Explore_bench.emit ~path:!path ~deep:!deep ~domains:!domains () in
-  Format.printf "explore bench (domains 1 vs %d):@." !domains;
-  Explore_bench.pp_summary Format.std_formatter results;
-  Format.printf "wrote %s@." !path;
-  match failures with
-  | [] -> ()
-  | fs ->
-    List.iter (fun f -> Printf.eprintf "FAIL: %s\n" f) fs;
-    exit 1
+let () = Explore_bench.main ()

@@ -3,13 +3,23 @@
    Runs each (instance, model) case once sequentially (domains=1) and once
    on a worker pool (domains=N), checks that verdicts and reachable-state
    counts agree, and renders everything as BENCH_explore.json so the perf
-   trajectory is tracked across PRs.  Schema: see EXPERIMENTS.md. *)
+   trajectory is tracked across PRs.  Schema: see EXPERIMENTS.md.
+
+   This module is both the library half and the single CLI for the
+   benchmark: [main] owns all flag parsing and the [DEEP] env handling, and
+   bin shims (bench/bench_explore.ml) must contain nothing but a call to
+   it, so flags cannot drift between entry points. *)
 
 open Spp
 open Engine
 module Json = Metrics.Json
 
-let schema = "commrouting/bench_explore/v1"
+let schema = "commrouting/bench_explore/v2"
+
+(* The state/route representation this binary was built with; recorded in
+   the artifact so perf numbers are attributable across the PR 2 arena
+   refactor. *)
+let repr = "arena"
 
 let model s = Option.get (Model.of_string s)
 
@@ -24,7 +34,7 @@ let case ?(config = Modelcheck.Explore.default_config) instance_name inst mname 
   { instance_name; inst; m = model mname; config }
 
 (* The fast subset runs in well under a second; the deep cases are the Fig. 6
-   exhaustive polling runs the paper harness also performs (~90s each). *)
+   exhaustive polling runs the paper harness also performs. *)
 let fast_cases () =
   [
     case "DISAGREE" Gadgets.disagree "R1O";
@@ -126,29 +136,58 @@ let json_of_case_result cr =
    parallel setting to compare against the sequential baseline. *)
 let par_domains () = max 2 (Modelcheck.Explore.default_domains ())
 
+(* The single reading of the DEEP knob: unset or anything but "0" means
+   deep.  bench/main.ml and [main] below both consult this. *)
+let deep_env () =
+  match Sys.getenv_opt "DEEP" with Some "0" -> false | Some _ | None -> true
+
+(* Peak resident set of this process in KiB, from /proc/self/status (Linux);
+   0 where unavailable. *)
+let vm_hwm_kb () =
+  match In_channel.with_open_text "/proc/self/status" In_channel.input_all with
+  | text ->
+    String.split_on_char '\n' text
+    |> List.find_map (fun line ->
+           match String.index_opt line ':' with
+           | Some i when String.sub line 0 i = "VmHWM" ->
+             String.sub line (i + 1) (String.length line - i - 1)
+             |> String.trim
+             |> String.split_on_char ' '
+             |> (function kb :: _ -> int_of_string_opt kb | [] -> None)
+           | _ -> None)
+    |> Option.value ~default:0
+  | exception Sys_error _ -> 0
+
 let run_all ~deep ~domains =
   let domains_list = [ 1; domains ] in
   let cases = fast_cases () @ (if deep then deep_cases () else []) in
   List.map (run_case ~domains_list) cases
 
-let to_json ~deep ~domains results =
+let to_json ?baseline ~deep ~domains results =
   Json.Obj
-    [
-      ("schema", Json.Str schema);
-      ("deep", Json.Bool deep);
-      ("domains_compared", Json.List [ Json.Num 1.; Json.Num (float_of_int domains) ]);
-      ("cases", Json.List (List.map json_of_case_result results));
-    ]
+    ([
+       ("schema", Json.Str schema);
+       ("repr", Json.Str repr);
+       ("deep", Json.Bool deep);
+       ("domains_compared", Json.List [ Json.Num 1.; Json.Num (float_of_int domains) ]);
+       ("cases", Json.List (List.map json_of_case_result results));
+       ("vm_hwm_kb", Json.Num (float_of_int (vm_hwm_kb ())));
+       ("arena_paths", Json.Num (float_of_int (Arena.size ())));
+     ]
+    @ match baseline with None -> [] | Some b -> [ ("baseline", b) ])
 
 let write_file path contents =
   let oc = open_out path in
   Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc contents)
 
 (* Runs the suite, writes [path], validates that the artifact re-parses and
-   that every case agreed across domain counts.  Returns the failures. *)
-let emit ?(path = "BENCH_explore.json") ~deep ~domains () =
+   that every case agreed across domain counts.  Returns the failures.
+   [baseline] embeds a previously emitted artifact (any schema version)
+   under a "baseline" key, recording the before/after perf comparison in
+   the artifact itself. *)
+let emit ?(path = "BENCH_explore.json") ?baseline ~deep ~domains () =
   let results = run_all ~deep ~domains in
-  let text = Json.to_string (to_json ~deep ~domains results) in
+  let text = Json.to_string (to_json ?baseline ~deep ~domains results) in
   write_file path text;
   let parse_failure =
     match Json.parse text with
@@ -178,3 +217,71 @@ let pp_summary ppf results =
             r.states_per_sec r.wall_s r.verdict)
         cr.runs)
     results
+
+(* ------------------------------------------------------------------ *)
+(* The one CLI.  Exits nonzero if the artifact fails to parse or the domain
+   settings disagree on any verdict/state count (exit 1), or on bad
+   arguments (exit 2). *)
+
+let usage =
+  "usage: bench_explore [-o FILE] [--domains N] [--deep|--fast] [--baseline FILE]\n\
+   \  -o FILE          artifact path (default BENCH_explore.json)\n\
+   \  --domains N      parallel domain count to compare against domains=1 (N >= 2)\n\
+   \  --deep           include the Fig. 6 exhaustive polling cases (default;\n\
+   \                   also controlled by the DEEP env var: DEEP=0 disables)\n\
+   \  --fast           fast subset only (same as DEEP=0)\n\
+   \  --baseline FILE  embed a previously emitted artifact under \"baseline\"\n"
+
+let main () =
+  let path = ref "BENCH_explore.json" in
+  let domains = ref (par_domains ()) in
+  let baseline_path = ref None in
+  (* DEEP env sets the default; --deep/--fast flags override. *)
+  let deep = ref (deep_env ()) in
+  let bad msg =
+    prerr_endline ("bench_explore: " ^ msg);
+    prerr_string usage;
+    exit 2
+  in
+  let rec parse_args = function
+    | [] -> ()
+    | "-o" :: p :: rest ->
+      path := p;
+      parse_args rest
+    | "--domains" :: n :: rest ->
+      (match int_of_string_opt n with
+      | Some d when d >= 2 -> domains := d
+      | _ -> bad "--domains expects an int >= 2");
+      parse_args rest
+    | "--deep" :: rest ->
+      deep := true;
+      parse_args rest
+    | "--fast" :: rest ->
+      deep := false;
+      parse_args rest
+    | "--baseline" :: p :: rest ->
+      baseline_path := Some p;
+      parse_args rest
+    | arg :: _ -> bad (Printf.sprintf "unknown argument %s" arg)
+  in
+  parse_args (List.tl (Array.to_list Sys.argv));
+  let baseline =
+    match !baseline_path with
+    | None -> None
+    | Some p -> (
+      match In_channel.with_open_text p In_channel.input_all with
+      | text -> (
+        match Json.parse text with
+        | Ok v -> Some v
+        | Error e -> bad (Printf.sprintf "baseline %s does not parse: %s" p e))
+      | exception Sys_error e -> bad e)
+  in
+  let results, failures = emit ~path:!path ?baseline ~deep:!deep ~domains:!domains () in
+  Format.printf "explore bench (domains 1 vs %d):@." !domains;
+  pp_summary Format.std_formatter results;
+  Format.printf "wrote %s@." !path;
+  match failures with
+  | [] -> ()
+  | fs ->
+    List.iter (fun f -> Printf.eprintf "FAIL: %s\n" f) fs;
+    exit 1

@@ -26,8 +26,7 @@ open Realization
 let model s = Option.get (Model.of_string s)
 let section title = Format.printf "@.=============== %s ===============@." title
 
-let deep =
-  match Sys.getenv_opt "DEEP" with Some "0" -> false | Some _ | None -> true
+let deep = Explore_bench.deep_env ()
 
 (* ------------------------------------------------------------------ *)
 

@@ -14,15 +14,18 @@ module Map = Map.Make (struct
   let compare = compare_id
 end)
 
-type contents = Spp.Path.t list
+type contents = Spp.Arena.id list
 type t = contents Map.t
 
 let empty = Map.empty
 let get t c = match Map.find_opt c t with Some l -> l | None -> []
+let get_paths t c = List.map Spp.Arena.path (get t c)
 let length t c = List.length (get t c)
 
 let push t c msg =
   Map.update c (function None -> Some [ msg ] | Some l -> Some (l @ [ msg ])) t
+
+let push_path t c p = push t c (Spp.Arena.intern p)
 
 let drop_first t c i =
   if i <= 0 then t
@@ -37,3 +40,4 @@ let drop_first t c i =
 let total_messages t = Map.fold (fun _ l acc -> acc + List.length l) t 0
 let max_occupancy t = Map.fold (fun _ l acc -> max acc (List.length l)) t 0
 let bindings = Map.bindings
+let bindings_paths t = List.map (fun (c, l) -> (c, List.map Spp.Arena.path l)) (bindings t)

@@ -3,7 +3,12 @@
     For each undirected edge {u, v} of an instance there are two channels
     (u, v) and (v, u); a channel's contents is the FIFO queue of route
     announcements written by its source and not yet processed by its
-    destination (Sec. 2.1). *)
+    destination (Sec. 2.1).
+
+    Queues hold {!Spp.Arena.id}s — the hash-consed compact representation —
+    so pushing, digesting and comparing channel states costs O(1) per
+    message instead of O(path length).  Use {!get_paths} /
+    {!bindings_paths} to materialize at pretty-print boundaries. *)
 
 type id = { src : Spp.Path.node; dst : Spp.Path.node }
 
@@ -15,9 +20,9 @@ val pp_id : Spp.Instance.t -> Format.formatter -> id -> unit
 
 module Map : Map.S with type key = id
 
-type contents = Spp.Path.t list
+type contents = Spp.Arena.id list
 (** Oldest message first.  Messages are the sender's chosen path;
-    {!Spp.Path.epsilon} is a withdrawal. *)
+    {!Spp.Arena.epsilon} is a withdrawal. *)
 
 type t = contents Map.t
 (** Channel states of a whole network; absent keys are empty channels, and
@@ -26,9 +31,17 @@ type t = contents Map.t
 
 val empty : t
 val get : t -> id -> contents
+
+val get_paths : t -> id -> Spp.Path.t list
+(** {!get} materialized; O(1) per message. *)
+
 val length : t -> id -> int
-val push : t -> id -> Spp.Path.t -> t
+
+val push : t -> id -> Spp.Arena.id -> t
 (** Appends at the back of the queue. *)
+
+val push_path : t -> id -> Spp.Path.t -> t
+(** {!push} composed with {!Spp.Arena.intern}. *)
 
 val drop_first : t -> id -> int -> t
 (** [drop_first t c i] removes the [i] oldest messages (at most the current
@@ -37,3 +50,4 @@ val drop_first : t -> id -> int -> t
 val total_messages : t -> int
 val max_occupancy : t -> int
 val bindings : t -> (id * contents) list
+val bindings_paths : t -> (id * Spp.Path.t list) list

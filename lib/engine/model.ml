@@ -25,6 +25,10 @@ let to_string m =
   r ^ n ^ y
 
 let of_string s =
+  (* Accept surrounding whitespace and any case — model names arrive from
+     CLI flags and env vars, so "rms" and " R1O " must work — but never
+     raise: anything that is not a 3-letter model name is None. *)
+  let s = String.uppercase_ascii (String.trim s) in
   if String.length s <> 3 then None
   else
     let rel =

@@ -23,6 +23,10 @@ val to_string : t -> string
 (** E.g. "RMS". *)
 
 val of_string : string -> t option
+(** Inverse of {!to_string}, tolerant of surrounding whitespace and case
+    ([" rms "] parses as [RMS]).  Never raises; [None] on anything that is
+    not a model name. *)
+
 val pp : Format.formatter -> t -> unit
 val equal : t -> t -> bool
 val compare : t -> t -> int

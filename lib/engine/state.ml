@@ -4,16 +4,35 @@ open Spp
 (* Each component binding is hashed with a distinct tag and XOR-folded into
    a running digest, so single-binding updates adjust the digest in O(log n)
    instead of rehashing four full [bindings] lists per lookup.  XOR is its
-   own inverse: removing a binding re-XORs the same value out. *)
-let h_pi v p = Hashtbl.hash (0x50, v, (p : Path.t))
-let h_rho (c : Channel.id) p = Hashtbl.hash (0x51, c, (p : Path.t))
-let h_ann v p = Hashtbl.hash (0x52, v, (p : Path.t))
-let h_chan (c : Channel.id) msgs = Hashtbl.hash (0x53, c, (msgs : Path.t list))
+   own inverse: removing a binding re-XORs the same value out.
+
+   Since PR 2 the maps hold {!Spp.Arena.id}s, and the arena is canonical
+   within the process: a given path has one id no matter which domain
+   interned it.  The binding hashes therefore mix small integers (a
+   splitmix-style finalizer, no allocation) instead of structurally hashing
+   node lists, and the digest of a given state content is stable across
+   domains — which is what lets the parallel explorer shard its intern
+   table by digest. *)
+
+let mix3 tag a b =
+  let h = (tag + 1) * 0x2545F4914F6CDD1D in
+  let h = (h lxor a) * 0x2127599BF4325C37 in
+  let h = (h lxor b) * 0x2545F4914F6CDD1D in
+  h lxor (h lsr 31)
+
+let mix4 tag a b c = mix3 (mix3 tag a b) b c
+
+let h_pi v (p : Arena.id) = mix3 0x50 v p
+let h_rho (c : Channel.id) (p : Arena.id) = mix4 0x51 c.Channel.src c.Channel.dst p
+let h_ann v (p : Arena.id) = mix3 0x52 v p
+
+let h_chan (c : Channel.id) (msgs : Arena.id list) =
+  List.fold_left (fun acc m -> mix3 0x54 acc m) (mix3 0x53 c.Channel.src c.Channel.dst) msgs
 
 type t = {
-  pi : Path.t IMap.t; (* absent = epsilon *)
-  rho : Path.t Channel.Map.t; (* absent = epsilon *)
-  ann : Path.t IMap.t; (* absent = epsilon *)
+  pi : Arena.id IMap.t; (* absent = epsilon *)
+  rho : Arena.id Channel.Map.t; (* absent = epsilon *)
+  ann : Arena.id IMap.t; (* absent = epsilon *)
   chans : Channel.t;
   dig_core : int; (* XOR of binding hashes of pi, rho, ann *)
   dig_chans : int; (* XOR of binding hashes of chans *)
@@ -27,7 +46,7 @@ let chans_digest chans =
 
 let initial inst =
   let d = Instance.dest inst in
-  let p0 = Path.of_nodes [ d ] in
+  let p0 = Instance.trivial_id inst in
   {
     pi = IMap.singleton d p0;
     rho = Channel.Map.empty;
@@ -37,16 +56,21 @@ let initial inst =
     dig_chans = 0;
   }
 
-let find_i k m = match IMap.find_opt k m with Some p -> p | None -> Path.epsilon
+let find_i k m = match IMap.find_opt k m with Some p -> p | None -> Arena.epsilon
 
-let pi t v = find_i v t.pi
-let announced t v = find_i v t.ann
+let pi_id t v = find_i v t.pi
+let announced_id t v = find_i v t.ann
 
-let rho t c =
-  match Channel.Map.find_opt c t.rho with Some p -> p | None -> Path.epsilon
+let rho_id t c =
+  match Channel.Map.find_opt c t.rho with Some p -> p | None -> Arena.epsilon
+
+let pi t v = Arena.path (pi_id t v)
+let announced t v = Arena.path (announced_id t v)
+let rho t c = Arena.path (rho_id t c)
 
 let channels t = t.chans
-let rho_bindings t = Channel.Map.bindings t.rho
+let rho_bindings_id t = Channel.Map.bindings t.rho
+let rho_bindings t = List.map (fun (c, p) -> (c, Arena.path p)) (rho_bindings_id t)
 
 let assignment inst t = Assignment.make inst (fun v -> pi t v)
 
@@ -55,68 +79,82 @@ let assignment inst t = Assignment.make inst (fun v -> pi t v)
    is not stored). *)
 let delta_i h k p old =
   (match old with Some q -> h k q | None -> 0)
-  lxor (if Path.is_epsilon p then 0 else h k p)
+  lxor (if Arena.is_epsilon p then 0 else h k p)
 
-let with_pi t v p =
+let with_pi_id t v p =
   let dig_core = t.dig_core lxor delta_i h_pi v p (IMap.find_opt v t.pi) in
-  let pi = if Path.is_epsilon p then IMap.remove v t.pi else IMap.add v p t.pi in
+  let pi = if Arena.is_epsilon p then IMap.remove v t.pi else IMap.add v p t.pi in
   { t with pi; dig_core }
 
-let with_rho t c p =
+let with_rho_id t c p =
   let dig_core = t.dig_core lxor delta_i h_rho c p (Channel.Map.find_opt c t.rho) in
   let rho =
-    if Path.is_epsilon p then Channel.Map.remove c t.rho else Channel.Map.add c p t.rho
+    if Arena.is_epsilon p then Channel.Map.remove c t.rho else Channel.Map.add c p t.rho
   in
   { t with rho; dig_core }
 
-let with_announced t v p =
+let with_announced_id t v p =
   let dig_core = t.dig_core lxor delta_i h_ann v p (IMap.find_opt v t.ann) in
-  let ann = if Path.is_epsilon p then IMap.remove v t.ann else IMap.add v p t.ann in
+  let ann = if Arena.is_epsilon p then IMap.remove v t.ann else IMap.add v p t.ann in
   { t with ann; dig_core }
+
+let with_pi t v p = with_pi_id t v (Arena.intern p)
+let with_rho t c p = with_rho_id t c (Arena.intern p)
+let with_announced t v p = with_announced_id t v (Arena.intern p)
 
 let with_channels t chans =
   if t.chans == chans then t else { t with chans; dig_chans = chans_digest chans }
 
-let best_choice inst t v =
-  if v = Instance.dest inst then Path.of_nodes [ v ]
+(* The route the node would choose right now: one O(1) permitted-extension
+   lookup per neighbor (Instance.ext_tbl), no interning, no list scans. *)
+let best_choice_id inst t v =
+  if v = Instance.dest inst then Instance.trivial_id inst
   else
-    let candidates =
-      List.filter_map
-        (fun u ->
-          let r = rho t (Channel.id ~src:u ~dst:v) in
-          if Path.is_epsilon r then None
-          else if Path.contains v r then None
-          else Some (Path.extend v r))
-        (Instance.neighbors inst v)
+    let best =
+      List.fold_left
+        (fun acc u ->
+          let r = rho_id t (Channel.id ~src:u ~dst:v) in
+          if Arena.is_epsilon r then acc
+          else
+            match Instance.permitted_extension inst v r with
+            | None -> acc
+            | Some (pid, rank) ->
+              (match acc with
+              | Some (_, s, _) when s < rank -> acc
+              | Some (_, s, w) when s = rank && w < u -> acc
+              | _ -> Some (pid, rank, u)))
+        None (Instance.neighbors inst v)
     in
-    Instance.best inst v candidates
+    match best with None -> Arena.epsilon | Some (pid, _, _) -> pid
+
+let best_choice inst t v = Arena.path (best_choice_id inst t v)
 
 let is_quiescent inst t =
   Channel.Map.is_empty t.chans
   && List.for_all
        (fun v ->
-         let p = best_choice inst t v in
-         Path.equal p (pi t v) && Path.equal p (announced t v))
+         let p = best_choice_id inst t v in
+         Arena.equal p (pi_id t v) && Arena.equal p (announced_id t v))
        (Instance.nodes inst)
 
 let equal (a : t) b =
   a.dig_core = b.dig_core
   && a.dig_chans = b.dig_chans
-  && IMap.equal Path.equal a.pi b.pi
-  && Channel.Map.equal Path.equal a.rho b.rho
-  && IMap.equal Path.equal a.ann b.ann
-  && Channel.Map.equal (List.equal Path.equal) a.chans b.chans
+  && IMap.equal Arena.equal a.pi b.pi
+  && Channel.Map.equal Arena.equal a.rho b.rho
+  && IMap.equal Arena.equal a.ann b.ann
+  && Channel.Map.equal (List.equal Arena.equal) a.chans b.chans
 
 let compare (a : t) b =
-  let c = IMap.compare Path.compare a.pi b.pi in
+  let c = IMap.compare Arena.compare a.pi b.pi in
   if c <> 0 then c
   else
-    let c = Channel.Map.compare Path.compare a.rho b.rho in
+    let c = Channel.Map.compare Arena.compare a.rho b.rho in
     if c <> 0 then c
     else
-      let c = IMap.compare Path.compare a.ann b.ann in
+      let c = IMap.compare Arena.compare a.ann b.ann in
       if c <> 0 then c
-      else Channel.Map.compare (List.compare Path.compare) a.chans b.chans
+      else Channel.Map.compare (List.compare Arena.compare) a.chans b.chans
 
 let pp inst ppf t =
   let pp_path = Instance.pp_path inst in
@@ -128,8 +166,8 @@ let pp inst ppf t =
     Fmt.(
       list ~sep:(any ", ") (fun ppf (c, p) ->
           Fmt.pf ppf "%a=%a" (Channel.pp_id inst) c pp_path p))
-    (Channel.Map.bindings t.rho)
+    (rho_bindings t)
     Fmt.(
       list ~sep:(any ", ") (fun ppf (c, msgs) ->
           Fmt.pf ppf "%a=[%a]" (Channel.pp_id inst) c (list ~sep:semi pp_path) msgs))
-    (Channel.bindings t.chans)
+    (Channel.bindings_paths t.chans)

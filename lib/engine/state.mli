@@ -3,7 +3,13 @@
     interpretation of step 4 of Def. 2.3 described in DESIGN.md).
 
     Values are immutable and normalized — epsilon routes and empty channels
-    are never stored — so structural equality and hashing are semantic. *)
+    are never stored — so structural equality and hashing are semantic.
+
+    Internally every route is a hash-consed {!Spp.Arena.id}; the [_id]
+    accessors and updates below expose that compact view and are the ones
+    the engine's hot paths use.  The {!Spp.Path.t}-typed functions are
+    materialized views (O(1) thanks to the arena) kept for callers that
+    work at pretty-print or analysis boundaries. *)
 
 type t
 
@@ -17,8 +23,14 @@ val rho : t -> Channel.id -> Spp.Path.t
 val announced : t -> Spp.Path.node -> Spp.Path.t
 val channels : t -> Channel.t
 
+val pi_id : t -> Spp.Path.node -> Spp.Arena.id
+val rho_id : t -> Channel.id -> Spp.Arena.id
+val announced_id : t -> Spp.Path.node -> Spp.Arena.id
+
 val rho_bindings : t -> (Channel.id * Spp.Path.t) list
 (** All non-epsilon known routes. *)
+
+val rho_bindings_id : t -> (Channel.id * Spp.Arena.id) list
 
 val assignment : Spp.Instance.t -> t -> Spp.Assignment.t
 (** The π component as an assignment. *)
@@ -26,6 +38,11 @@ val assignment : Spp.Instance.t -> t -> Spp.Assignment.t
 val with_pi : t -> Spp.Path.node -> Spp.Path.t -> t
 val with_rho : t -> Channel.id -> Spp.Path.t -> t
 val with_announced : t -> Spp.Path.node -> Spp.Path.t -> t
+
+val with_pi_id : t -> Spp.Path.node -> Spp.Arena.id -> t
+val with_rho_id : t -> Channel.id -> Spp.Arena.id -> t
+val with_announced_id : t -> Spp.Path.node -> Spp.Arena.id -> t
+
 val with_channels : t -> Channel.t -> t
 
 val best_choice : Spp.Instance.t -> t -> Spp.Path.node -> Spp.Path.t
@@ -33,19 +50,27 @@ val best_choice : Spp.Instance.t -> t -> Spp.Path.node -> Spp.Path.t
     preferred permitted extension of its known routes ρ; the trivial path at
     the destination. *)
 
+val best_choice_id : Spp.Instance.t -> t -> Spp.Path.node -> Spp.Arena.id
+(** {!best_choice} in the compact representation: one O(1)
+    permitted-extension lookup per neighbor. *)
+
 val is_quiescent : Spp.Instance.t -> t -> bool
 (** All channels are empty and every node's chosen route equals its
     announced route; no activation can change any component from such a
     state, so the execution has converged. *)
 
 val equal : t -> t -> bool
+
 val compare : t -> t -> int
+(** A total order (id-wise, i.e. by intern order of the routes); not the
+    structural path order, but stable within a process. *)
 
 val digest : t -> int
 (** Constant-time content digest, maintained incrementally by the [with_*]
     updates (each rebinding XORs the affected binding hash in and out).
-    Equal states have equal digests; collisions are possible, so use
-    {!equal} to confirm. *)
+    Binding hashes mix arena ids, which are canonical process-wide, so
+    equal states have equal digests no matter which domain built them.
+    Collisions are possible, so use {!equal} to confirm. *)
 
 val hash : t -> int
 (** Alias of {!digest}, kept for [Hashtbl.Make] functors. *)

@@ -13,16 +13,18 @@ type outcome = {
 }
 
 (* What [src] actually offers to [dst] under the export policy: the path
-   itself if exportable, otherwise a withdrawal. *)
-let effective export ~src ~dst p =
-  if Path.is_epsilon p then Path.epsilon
-  else if export ~src ~dst p then p
-  else Path.epsilon
+   itself if exportable, otherwise a withdrawal.  Works on arena ids; the
+   policy callback sees the materialized path (O(1)). *)
+let effective export ~src ~dst (p : Arena.id) =
+  if Arena.is_epsilon p then Arena.epsilon
+  else if export ~src ~dst (Arena.path p) then p
+  else Arena.epsilon
 
-let apply ?(export = export_all) inst state (entry : Activation.t) =
-  (match Activation.well_formed inst entry with
-  | [] -> ()
-  | e :: _ -> invalid_arg (Fmt.str "Step.apply: %a" (Activation.pp_error inst) e));
+let apply ?(check = true) ?(export = export_all) inst state (entry : Activation.t) =
+  if check then
+    (match Activation.well_formed inst entry with
+    | [] -> ()
+    | e :: _ -> invalid_arg (Fmt.str "Step.apply: %a" (Activation.pp_error inst) e));
   (* Phase 1: process channels. *)
   let processed = ref [] and dropped = ref [] in
   let state =
@@ -59,7 +61,7 @@ let apply ?(export = export_all) inst state (entry : Activation.t) =
           if n_dropped > 0 then dropped := (c, n_dropped) :: !dropped;
           let st =
             match kept with
-            | Some msg -> State.with_rho st c msg
+            | Some msg -> State.with_rho_id st c msg
             | None -> st (* all processed messages dropped: rho unchanged *)
           in
           State.with_channels st (Channel.drop_first (State.channels st) c i)
@@ -67,9 +69,11 @@ let apply ?(export = export_all) inst state (entry : Activation.t) =
       state entry.Activation.reads
   in
   (* Phase 2: route choices. *)
-  let choices = List.map (fun v -> (v, State.best_choice inst state v)) entry.active in
+  let choices =
+    List.map (fun v -> (v, State.best_choice_id inst state v)) entry.active
+  in
   let state =
-    List.fold_left (fun st (v, p) -> State.with_pi st v p) state choices
+    List.fold_left (fun st (v, p) -> State.with_pi_id st v p) state choices
   in
   (* Phase 3: announcements. *)
   let announcements = ref [] in
@@ -77,10 +81,10 @@ let apply ?(export = export_all) inst state (entry : Activation.t) =
   let state =
     List.fold_left
       (fun st (v, p) ->
-        let old = State.announced st v in
-        if Path.equal p old then st
+        let old = State.announced_id st v in
+        if Arena.equal p old then st
         else begin
-          announcements := (v, p) :: !announcements;
+          announcements := (v, Arena.path p) :: !announcements;
           let st =
             List.fold_left
               (fun st u ->
@@ -89,15 +93,15 @@ let apply ?(export = export_all) inst state (entry : Activation.t) =
                 else
                   let eff_new = effective export ~src:v ~dst:u p in
                   let eff_old = effective export ~src:v ~dst:u old in
-                  if Path.equal eff_new eff_old then st
+                  if Arena.equal eff_new eff_old then st
                   else begin
                     let c = Channel.id ~src:v ~dst:u in
-                    pushed := (c, eff_new) :: !pushed;
+                    pushed := (c, Arena.path eff_new) :: !pushed;
                     State.with_channels st (Channel.push (State.channels st) c eff_new)
                   end)
               st (Instance.neighbors inst v)
           in
-          State.with_announced st v p
+          State.with_announced_id st v p
         end)
       state choices
   in

@@ -29,7 +29,13 @@ type outcome = {
       (** individual messages appended to channels this step, in order *)
 }
 
-val apply : ?export:export -> Spp.Instance.t -> State.t -> Activation.t -> outcome
+val apply :
+  ?check:bool -> ?export:export -> Spp.Instance.t -> State.t -> Activation.t -> outcome
 (** Raises [Invalid_argument] if the entry is not well-formed for the
     instance.  The entry is {e not} checked against any model; use
-    {!Model.validates} for that. *)
+    {!Model.validates} for that.
+
+    [~check:false] skips the well-formedness validation — for callers like
+    the model checker's exploration loop whose entries are well-formed by
+    construction and which apply millions of them.  Applying an ill-formed
+    entry unchecked has unspecified (but memory-safe) results. *)

@@ -10,14 +10,14 @@ let transplant ~old_instance ~new_instance state =
   let st =
     List.fold_left
       (fun st v ->
-        let st = State.with_pi st v (State.pi state v) in
-        State.with_announced st v (State.announced state v))
+        let st = State.with_pi_id st v (State.pi_id state v) in
+        State.with_announced_id st v (State.announced_id state v))
       st
       (Instance.nodes new_instance)
   in
   let st =
     List.fold_left
-      (fun st (c, r) -> if alive c then State.with_rho st c r else st)
-      st (State.rho_bindings state)
+      (fun st (c, r) -> if alive c then State.with_rho_id st c r else st)
+      st (State.rho_bindings_id state)
   in
   State.with_channels st (Channel.Map.filter (fun c _ -> alive c) (State.channels state))

@@ -48,23 +48,26 @@ let collapse_state model st =
    of r is observationally equivalent to epsilon.  Projecting such values to
    epsilon merges states with identical future behavior.  Message *counts*
    are preserved (an epsilon message still occupies a queue slot), so the f
-   and g bookkeeping is untouched. *)
+   and g bookkeeping is untouched.
+
+   On arena ids, "v·r is permitted" is one hash lookup
+   (Instance.permitted_extension), so the projection is O(1) per route. *)
 let project_state inst st =
-  let relevant v r =
-    (not (Spp.Path.is_epsilon r))
-    && (not (Spp.Path.contains v r))
-    && Spp.Instance.is_permitted inst v (Spp.Path.extend v r)
+  let relevant v (r : Spp.Arena.id) =
+    (not (Spp.Arena.is_epsilon r))
+    && Spp.Instance.permitted_extension inst v r <> None
   in
   let st =
     List.fold_left
       (fun acc ((c : Channel.id), r) ->
-        if relevant c.Channel.dst r then acc else State.with_rho acc c Spp.Path.epsilon)
-      st (State.rho_bindings st)
+        if relevant c.Channel.dst r then acc
+        else State.with_rho_id acc c Spp.Arena.epsilon)
+      st (State.rho_bindings_id st)
   in
   let projected_chans =
     Channel.Map.mapi
       (fun (c : Channel.id) msgs ->
-        List.map (fun r -> if relevant c.Channel.dst r then r else Spp.Path.epsilon) msgs)
+        List.map (fun r -> if relevant c.Channel.dst r then r else Spp.Arena.epsilon) msgs)
       (State.channels st)
   in
   State.with_channels st projected_chans
@@ -113,7 +116,7 @@ let explore_seq ~config ?metrics inst ~successors ~collapse =
     let edges =
       List.filter_map
         (fun (labeled : Enumerate.labeled) ->
-          let outcome = Step.apply inst st labeled.Enumerate.entry in
+          let outcome = Step.apply ~check:false inst st labeled.Enumerate.entry in
           let st' = project_state inst (collapse outcome.Step.state) in
           if Channel.max_occupancy (State.channels st') > config.channel_bound then begin
             pruned := true;
@@ -254,7 +257,7 @@ let explore_par ~config ~domains ?metrics inst ~successors ~collapse =
     let edges =
       List.filter_map
         (fun (labeled : Enumerate.labeled) ->
-          let outcome = Step.apply inst st labeled.Enumerate.entry in
+          let outcome = Step.apply ~check:false inst st labeled.Enumerate.entry in
           let st' = project_state inst (collapse outcome.Step.state) in
           if Channel.max_occupancy (State.channels st') > config.channel_bound then begin
             Atomic.set pruned true;

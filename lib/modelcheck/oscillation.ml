@@ -23,9 +23,11 @@ let tracked_channels inst =
       if dst = Instance.dest inst then None else Some (Channel.id ~src ~dst))
     (Instance.channels inst)
 
-(* Path assignments differ between two states? *)
+(* Path assignments differ between two states?  O(1) per node on ids. *)
 let pi_differs inst a b =
-  List.exists (fun v -> not (Path.equal (State.pi a v) (State.pi b v))) (Instance.nodes inst)
+  List.exists
+    (fun v -> not (Spp.Arena.equal (State.pi_id a v) (State.pi_id b v)))
+    (Instance.nodes inst)
 
 (* BFS path in a restricted edge set; returns the entries along a path from
    [src] to [dst] ([] if src = dst). *)

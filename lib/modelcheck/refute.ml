@@ -68,7 +68,7 @@ let fair_constant_continuation config inst model start =
     let i, st = Queue.pop queue in
     List.iter
       (fun (l : Enumerate.labeled) ->
-        let outcome = Step.apply inst st l.Enumerate.entry in
+        let outcome = Step.apply ~check:false inst st l.Enumerate.entry in
         let st' = outcome.Step.state in
         if
           Channel.max_occupancy (State.channels st') <= config.Explore.channel_bound
@@ -205,7 +205,7 @@ let realizable ?(config = Explore.default_config) ?(termination = Prefix) inst m
       List.iter
         (fun (l : Enumerate.labeled) ->
           if !accept = None then begin
-            let outcome = Step.apply inst st l.Enumerate.entry in
+            let outcome = Step.apply ~check:false inst st l.Enumerate.entry in
             let st' = outcome.Step.state in
             if Channel.max_occupancy (State.channels st') > config.Explore.channel_bound
             then pruned := true

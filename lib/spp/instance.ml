@@ -6,6 +6,14 @@ type t = {
   ranked : (Path.t * int) list array;
       (* per node, sorted by rank then by path; the destination's entry is
          [([d], 0)] *)
+  trivial : Arena.id; (* id of the trivial path [dest] *)
+  rank_tbl : (Arena.id, int) Hashtbl.t array;
+      (* per node: permitted path id -> rank; read-only after [build] *)
+  ext_tbl : (Arena.id, Arena.id * int) Hashtbl.t array;
+      (* per node v: route id r -> (id of v·r, rank of v·r) for every
+         permitted v·r.  The key determines the value (v·r is one path),
+         so lookups answer "is this extension permitted, and how good is
+         it" in O(1) on the engine's hottest operation. *)
 }
 
 type error =
@@ -44,10 +52,19 @@ let channels t =
 
 let permitted t v = List.map fst t.ranked.(v)
 
+let trivial_id t = t.trivial
+let rank_id t v pid = Hashtbl.find_opt t.rank_tbl.(v) pid
+let is_permitted_id t v pid = Hashtbl.mem t.rank_tbl.(v) pid
+
 let rank t v p =
-  List.find_map (fun (q, r) -> if Path.equal p q then Some r else None) t.ranked.(v)
+  if Array.length t.rank_tbl = 0 then
+    (* validation-time fallback: tables not frozen yet *)
+    List.find_map (fun (q, r) -> if Path.equal p q then Some r else None) t.ranked.(v)
+  else rank_id t v (Arena.intern p)
 
 let is_permitted t v p = rank t v p <> None
+
+let permitted_extension t v rid = Hashtbl.find_opt t.ext_tbl.(v) rid
 
 let all_permitted t =
   List.concat_map (fun v -> List.map (fun (p, r) -> (v, p, r)) t.ranked.(v)) (nodes t)
@@ -129,9 +146,38 @@ let build ~names ~dest ~edges ~ranked_of_node =
         List.sort (fun (p, r) (q, s) -> if r <> s then compare r s else Path.compare p q) paths)
     ranked_of_node;
   ranked.(dest) <- [ (Path.of_nodes [ dest ], 0) ];
-  let t = { size; names; dest; adj; ranked } in
+  let t =
+    {
+      size;
+      names;
+      dest;
+      adj;
+      ranked;
+      trivial = Arena.of_nodes [ dest ];
+      rank_tbl = [||];
+      ext_tbl = [||];
+    }
+  in
   match validate t with
-  | [] -> t
+  | [] ->
+    (* Freeze the id-level lookup tables.  They are written only here and
+       read-only afterwards, so sharing them across domains is safe. *)
+    let rank_tbl = Array.init size (fun _ -> Hashtbl.create 16) in
+    let ext_tbl = Array.init size (fun _ -> Hashtbl.create 16) in
+    Array.iteri
+      (fun v paths ->
+        List.iter
+          (fun (p, r) ->
+            let pid = Arena.intern p in
+            if not (Hashtbl.mem rank_tbl.(v) pid) then Hashtbl.add rank_tbl.(v) pid r;
+            if not (Arena.is_epsilon (Arena.suffix pid)) then begin
+              let tail = Arena.suffix pid in
+              if not (Hashtbl.mem ext_tbl.(v) tail) then
+                Hashtbl.add ext_tbl.(v) tail (pid, r)
+            end)
+          paths)
+      ranked;
+    { t with rank_tbl; ext_tbl }
   | e :: _ -> invalid_arg (Fmt.str "Instance: %a" (pp_error t) e)
 
 let make ~names ~dest ~edges ~permitted =
@@ -165,6 +211,29 @@ let best t v candidates =
   match List.fold_left consider None candidates with
   | None -> Path.epsilon
   | Some (p, _) -> p
+
+(* Id-level mirror of [best], with the identical tie rule (smaller next
+   hop, then structural path order) so engine route choices are unchanged
+   by the compact representation. *)
+let best_id t v candidates =
+  let consider acc pid =
+    match rank_id t v pid with
+    | None -> acc
+    | Some r ->
+      (match acc with
+      | None -> Some (pid, r)
+      | Some (qid, s) ->
+        if r < s then Some (pid, r)
+        else if r > s then acc
+        else begin
+          match (Arena.next_hop pid, Arena.next_hop qid) with
+          | Some a, Some b when a <> b -> if a < b then Some (pid, r) else acc
+          | _ -> if Arena.compare_structural pid qid < 0 then Some (pid, r) else acc
+        end)
+  in
+  match List.fold_left consider None candidates with
+  | None -> Arena.epsilon
+  | Some (pid, _) -> pid
 
 let pp ppf t =
   Fmt.pf ppf "@[<v>SPP instance (%d nodes, dest %s)@," t.size (name t t.dest);

@@ -74,6 +74,23 @@ val rank : t -> Path.node -> Path.t -> int option
 
 val is_permitted : t -> Path.node -> Path.t -> bool
 
+(** {1 Compact (arena id) lookups}
+
+    O(1) views of the permitted-path tables keyed by {!Arena.id}, frozen
+    at construction and read-only afterwards (safe to share across
+    domains).  These back the engine's hot path. *)
+
+val trivial_id : t -> Arena.id
+(** The id of the destination's trivial path [[d]]. *)
+
+val rank_id : t -> Path.node -> Arena.id -> int option
+val is_permitted_id : t -> Path.node -> Arena.id -> bool
+
+val permitted_extension : t -> Path.node -> Arena.id -> (Arena.id * int) option
+(** [permitted_extension t v r] is [Some (id of v·r, rank)] when the
+    extension of route [r] by [v] is permitted at [v], [None] otherwise
+    (including when v·r would not be simple).  One hash lookup. *)
+
 val all_permitted : t -> (Path.node * Path.t * int) list
 (** Every (node, permitted path, rank) triple. *)
 
@@ -84,6 +101,9 @@ val best : t -> Path.node -> Path.t list -> Path.t
     [candidates] (non-permitted candidates are ignored), or
     {!Path.epsilon} if none is permitted.  Rank ties are broken by the
     smaller next-hop id, then by path comparison, for determinism. *)
+
+val best_id : t -> Path.node -> Arena.id list -> Arena.id
+(** {!best} on interned paths: identical choice, O(1) rank lookups. *)
 
 val channels : t -> (Path.node * Path.node) list
 (** All directed channels (u, v): two per undirected edge. *)

@@ -37,11 +37,19 @@ let test_model_roundtrip () =
   Alcotest.(check int) "24 models" 24 (List.length Model.all);
   List.iter
     (fun m ->
-      match Model.of_string (Model.to_string m) with
-      | Some m' -> Alcotest.(check bool) (Model.to_string m) true (Model.equal m m')
-      | None -> Alcotest.fail "roundtrip failed")
+      let s = Model.to_string m in
+      (* of_string is tolerant of case and surrounding whitespace. *)
+      List.iter
+        (fun variant ->
+          match Model.of_string variant with
+          | Some m' -> Alcotest.(check bool) variant true (Model.equal m m')
+          | None -> Alcotest.failf "roundtrip failed on %S" variant)
+        [ s; String.lowercase_ascii s; " " ^ s ^ "\n"; "\t " ^ String.lowercase_ascii s ])
     Model.all;
-  Alcotest.(check (option reject)) "garbage" None (Model.of_string "XYZ")
+  List.iter
+    (fun garbage ->
+      Alcotest.(check (option reject)) garbage None (Model.of_string garbage))
+    [ "XYZ"; ""; "R1"; "R1OA"; "1RO"; "R 1O"; "   " ]
 
 let test_model_families () =
   let m = model in
@@ -239,7 +247,7 @@ let test_step_withdrawal () =
   Alcotest.(check bool) "u withdrew" true
     (Path.is_epsilon (State.pi final (Gadgets.node inst 'u')));
   (* The withdrawal is in (u,v). *)
-  let q = Channel.get (State.channels final) (chan inst 'u' 'v') in
+  let q = Channel.get_paths (State.channels final) (chan inst 'u' 'v') in
   Alcotest.(check bool) "epsilon queued to v" true
     (List.exists Path.is_epsilon q)
 
@@ -588,16 +596,20 @@ let test_paper_table_rendering () =
 
 let test_channel_ops () =
   let c = Channel.id ~src:1 ~dst:2 in
-  let t = Channel.push Channel.empty c (Path.of_nodes [ 1; 0 ]) in
-  let t = Channel.push t c (Path.of_nodes [ 1; 2; 0 ]) in
+  let t = Channel.push_path Channel.empty c (Path.of_nodes [ 1; 0 ]) in
+  let t = Channel.push_path t c (Path.of_nodes [ 1; 2; 0 ]) in
   Alcotest.(check int) "length" 2 (Channel.length t c);
   Alcotest.(check int) "total" 2 (Channel.total_messages t);
   Alcotest.(check int) "max occupancy" 2 (Channel.max_occupancy t);
   let t = Channel.drop_first t c 1 in
   Alcotest.(check int) "after drop" 1 (Channel.length t c);
-  (match Channel.get t c with
+  (match Channel.get_paths t c with
   | [ p ] -> Alcotest.(check bool) "FIFO kept newer" true (Path.equal p (Path.of_nodes [ 1; 2; 0 ]))
   | _ -> Alcotest.fail "unexpected contents");
+  Alcotest.(check bool) "ids are hash-consed" true
+    (match Channel.get t c with
+    | [ i ] -> Spp.Arena.equal i (Spp.Arena.of_nodes [ 1; 2; 0 ])
+    | _ -> false);
   let t = Channel.drop_first t c 5 in
   Alcotest.(check int) "over-drop clamps" 0 (Channel.length t c);
   Alcotest.(check bool) "empty map normal form" true (Channel.Map.is_empty t);

@@ -262,8 +262,99 @@ let prop_fifo_order =
               k >= 0
               && List.equal Path.equal queue
                    (List.filteri (fun i _ -> i >= k) history))
-            (Channel.bindings chans))
+            (Channel.bindings_paths chans))
         (Trace.steps tr))
+
+(* ------------------------------------------------------------------ *)
+(* Drop semantics of Step.apply (the g function of Def. 2.2) *)
+
+let gen_reliable_setup =
+  QCheck2.Gen.(
+    let* seed = int_range 0 99_999 in
+    let* model_ix = int_range 0 (List.length Model.reliable - 1) in
+    let* steps = int_range 1 60 in
+    return (seed, List.nth Model.reliable model_ix, steps))
+
+let prop_reliable_never_drops =
+  QCheck2.Test.make ~name:"reliable schedules never drop" ~count:60 gen_reliable_setup
+    (fun (seed, m, steps) ->
+      let inst = Gadgets.fig6 in
+      let tr = run_random_prefix inst m ~seed ~steps in
+      List.for_all
+        (fun (s : Trace.step) -> s.Trace.outcome.Step.dropped = [])
+        (Trace.steps tr))
+
+(* A queue of distinguishable messages on DISAGREE's (y,x) channel: message
+   j (1-based, oldest first) is the bogus-but-well-formed path [10+j; y; d],
+   so rho after the step identifies exactly which message was kept. *)
+let drop_setup inst ~queued =
+  let y = Gadgets.node inst 'y' and x = Gadgets.node inst 'x' in
+  let d = Instance.dest inst in
+  let c = Channel.id ~src:y ~dst:x in
+  let msg j = Path.of_nodes [ 10 + j; y; d ] in
+  let st =
+    List.fold_left
+      (fun st j ->
+        State.with_channels st (Channel.push_path (State.channels st) c (msg j)))
+      (State.initial inst)
+      (List.init queued (fun j -> j + 1))
+  in
+  (c, x, msg, st)
+
+let gen_drop_entry =
+  QCheck2.Gen.(
+    let* queued = int_range 0 6 in
+    let* count =
+      oneof [ return Activation.All; map (fun f -> Activation.Finite f) (int_range 0 8) ]
+    in
+    let bound = match count with Activation.All -> 8 | Activation.Finite f -> f in
+    let* drops =
+      if bound = 0 then return [] else list_size (int_range 0 bound) (int_range 1 bound)
+    in
+    return (queued, count, drops))
+
+let processed_count queued = function
+  | Activation.All -> queued
+  | Activation.Finite f -> min f queued
+
+let prop_kept_is_newest_undropped =
+  QCheck2.Test.make ~name:"rho keeps the newest non-dropped processed message"
+    ~count:200 gen_drop_entry
+    (fun (queued, count, drops) ->
+      let inst = Gadgets.disagree in
+      let c, x, msg, st = drop_setup inst ~queued in
+      let o = Step.apply inst st (Activation.single x [ Activation.read ~drops ~count c ]) in
+      let i = processed_count queued count in
+      let dropset = Activation.IntSet.of_list drops in
+      (* Reference semantics: the newest index j <= i with j not dropped; if
+         every processed message was dropped, rho is unchanged (epsilon in
+         the initial state). *)
+      let rec newest j best =
+        if j > i then best
+        else newest (j + 1) (if Activation.IntSet.mem j dropset then best else Some j)
+      in
+      let expected =
+        match newest 1 None with None -> Path.epsilon | Some j -> msg j
+      in
+      Path.equal (State.rho o.Step.state c) expected)
+
+let prop_drop_counts_reconcile =
+  QCheck2.Test.make ~name:"processed/dropped counts reconcile with the queue"
+    ~count:200 gen_drop_entry
+    (fun (queued, count, drops) ->
+      let inst = Gadgets.disagree in
+      let c, x, _msg, st = drop_setup inst ~queued in
+      let o = Step.apply inst st (Activation.single x [ Activation.read ~drops ~count c ]) in
+      let i = processed_count queued count in
+      let n_proc = Option.value ~default:0 (List.assoc_opt c o.Step.processed) in
+      let n_drop = Option.value ~default:0 (List.assoc_opt c o.Step.dropped) in
+      let dropset = Activation.IntSet.of_list drops in
+      let expected_drops =
+        Activation.IntSet.cardinal (Activation.IntSet.filter (fun j -> j <= i) dropset)
+      in
+      n_proc = i && n_drop = expected_drops
+      && n_drop <= n_proc
+      && Channel.length (State.channels o.Step.state) c = queued - i)
 
 let properties =
   List.map QCheck_alcotest.to_alcotest
@@ -274,6 +365,9 @@ let properties =
       prop_quiescent_iff_solution;
       prop_rho_is_some_pushed_message;
       prop_fifo_order;
+      prop_reliable_never_drops;
+      prop_kept_is_newest_undropped;
+      prop_drop_counts_reconcile;
     ]
 
 let () =

@@ -476,6 +476,50 @@ let extra_qcheck =
       prop_solutions_distinct;
     ]
 
+(* ------------------------------------------------------------------ *)
+(* Arena: hash-consed path interning *)
+
+let test_arena_canonical_ids () =
+  let nodes = [ 1; 2; 0 ] in
+  let a = Arena.of_nodes nodes and b = Arena.intern (Path.of_nodes nodes) in
+  Alcotest.(check int) "same id for equal paths" a b;
+  Alcotest.(check bool) "materializes back" true
+    (Path.equal (Arena.path a) (Path.of_nodes nodes));
+  Alcotest.(check (list int)) "round-trips nodes" nodes (Arena.to_nodes a);
+  Alcotest.(check bool) "distinct paths, distinct ids" false
+    (Arena.equal a (Arena.of_nodes [ 2; 0 ]));
+  Alcotest.(check int) "epsilon is id 0" Arena.epsilon (Arena.of_nodes []);
+  Alcotest.(check bool) "intern epsilon" true (Arena.is_epsilon (Arena.intern Path.epsilon))
+
+let test_arena_extend_suffix () =
+  let tail = Arena.of_nodes [ 2; 0 ] in
+  let ext = Arena.extend 1 tail in
+  Alcotest.(check int) "extend = of_nodes" (Arena.of_nodes [ 1; 2; 0 ]) ext;
+  Alcotest.(check int) "suffix undoes extend" tail (Arena.suffix ext);
+  Alcotest.(check (option int)) "next hop" (Some 2) (Arena.next_hop ext);
+  Alcotest.(check int) "length" 2 (Arena.length ext);
+  (match Arena.extend 1 Arena.epsilon with
+  | exception Invalid_argument _ -> ()
+  | (_ : Arena.id) -> Alcotest.fail "extend of epsilon accepted");
+  Alcotest.(check bool) "contains source" true (Arena.contains 1 ext);
+  Alcotest.(check bool) "contains inner" true (Arena.contains 2 ext);
+  Alcotest.(check bool) "not contains" false (Arena.contains 7 ext);
+  (* Nodes beyond the bitmask width exercise the list-walk fallback. *)
+  let big = Arena.of_nodes [ 100; 63; 0 ] in
+  Alcotest.(check bool) "contains above mask" true (Arena.contains 100 big);
+  Alcotest.(check bool) "not contains above mask" false (Arena.contains 99 big)
+
+let prop_arena_intern_roundtrip =
+  QCheck2.Test.make ~name:"arena intern/materialize round-trip" ~count:300
+    QCheck2.Gen.(list_size (int_range 0 8) (int_range 0 200))
+    (fun nodes ->
+      let p = Path.of_nodes nodes in
+      let id = Arena.intern p in
+      Path.equal (Arena.path id) p
+      && Arena.equal id (Arena.intern p)
+      && Arena.compare_structural id (Arena.intern p) = 0
+      && List.for_all (fun v -> Arena.contains v id = Path.contains v p) (0 :: nodes))
+
 let () =
   Alcotest.run "spp"
     [
@@ -486,6 +530,12 @@ let () =
           Alcotest.test_case "extend" `Quick test_path_extend;
           Alcotest.test_case "affixes" `Quick test_path_affixes;
           Alcotest.test_case "pretty-printing" `Quick test_path_pp;
+        ] );
+      ( "arena",
+        [
+          Alcotest.test_case "canonical ids" `Quick test_arena_canonical_ids;
+          Alcotest.test_case "extend/suffix/contains" `Quick test_arena_extend_suffix;
+          QCheck_alcotest.to_alcotest prop_arena_intern_roundtrip;
         ] );
       ( "instance",
         [
