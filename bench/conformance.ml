@@ -1,0 +1,153 @@
+(* Differential conformance driver: fuzz the Fig. 3/4 realization matrices
+   against the engine (see lib/conformance/), replay the committed corpus,
+   or regenerate the committed sample entries.  Exit code 0 means no drift
+   was detected (skipped-as-inconclusive negatives do not fail the run). *)
+
+let ( / ) = Filename.concat
+
+let json_files dir =
+  Sys.readdir dir |> Array.to_list
+  |> List.filter (fun f -> Filename.check_suffix f ".json")
+  |> List.sort String.compare
+
+let replay_dir dir =
+  let outcomes =
+    List.map (fun f -> Conformance.replay_file (dir / f)) (json_files dir)
+  in
+  if outcomes = [] then begin
+    Fmt.epr "conformance: no corpus entries in %s@." dir;
+    exit 2
+  end;
+  List.iter
+    (fun (o : Conformance.Corpus.outcome) ->
+      Fmt.pr "%s %s: %s@." (if o.ok then "ok  " else "FAIL") o.name o.detail)
+    outcomes;
+  let failed = List.filter (fun (o : Conformance.Corpus.outcome) -> not o.ok) outcomes in
+  Fmt.pr "replayed %d corpus entries, %d failed@." (List.length outcomes)
+    (List.length failed);
+  exit (if failed = [] then 0 else 1)
+
+(* The committed sample corpus: one positive trial per realization level
+   (expectations recorded from the actual verdict, so a drifting engine
+   fails replay, not generation) and the fast appendix refutations. *)
+let write_samples dir =
+  Conformance.Trial.force_routes ();
+  let level_fact level =
+    List.find_opt
+      (fun (f : Realization.Facts.positive) -> f.Realization.Facts.level = level)
+      Realization.Facts.positives
+  in
+  List.iter
+    (fun level ->
+      match level_fact level with
+      | None -> ()  (* no positive fact is stated at this level *)
+      | Some f ->
+      let inst_name, inst = List.hd (Conformance.Fuzz.instance_pool ~seeds:1) in
+      let entries =
+        Conformance.Fuzz.schedule inst f.Realization.Facts.realized ~seed:42
+          ~len:10
+      in
+      let trial = Conformance.Trial.of_fact f ~inst_name inst entries in
+      let expect =
+        match Conformance.Trial.check_positive trial with
+        | Conformance.Trial.Holds -> Conformance.Corpus.Expect_holds
+        | Conformance.Trial.Violated v -> Conformance.Corpus.Expect_violated v
+      in
+      let name =
+        Fmt.str "sample-%s-%s-realizes-%s"
+          (Realization.Relation.to_string level)
+          (Engine.Model.to_string f.Realization.Facts.realizer)
+          (Engine.Model.to_string f.Realization.Facts.realized)
+      in
+      Conformance.Corpus.save (dir / (name ^ ".json"))
+        (Conformance.Corpus.positive ~name ~expect trial);
+      Fmt.pr "wrote %s@." (name ^ ".json"))
+    Realization.Relation.[ Oscillation; Subsequence; Repetition; Exact ];
+  List.iter
+    (fun (n : Conformance.Trial.negative) ->
+      match n.Conformance.Trial.check with
+      | Conformance.Trial.Refutation r when n.Conformance.Trial.cost = Conformance.Trial.Fast ->
+        let f = n.Conformance.Trial.fact in
+        let name =
+          Fmt.str "sample-refute-%s-%s-%s"
+            (Engine.Model.to_string f.Realization.Facts.non_realizer)
+            (Engine.Model.to_string f.Realization.Facts.target)
+            (String.lowercase_ascii (Realization.Relation.to_string r.level))
+        in
+        let cfg = Modelcheck.Explore.default_config in
+        Conformance.Corpus.save (dir / (name ^ ".json"))
+          {
+            Conformance.Corpus.name;
+            case =
+              Conformance.Corpus.Negative_refutation
+                {
+                  inst_name = r.inst_name;
+                  inst = r.inst;
+                  non_realizer = f.Realization.Facts.non_realizer;
+                  target_model = f.Realization.Facts.target;
+                  level = r.level;
+                  termination = r.termination;
+                  witness = r.witness;
+                  channel_bound = cfg.Modelcheck.Explore.channel_bound;
+                  max_states = cfg.Modelcheck.Explore.max_states;
+                };
+          };
+        Fmt.pr "wrote %s@." (name ^ ".json")
+      | _ -> ())
+    (Conformance.Trial.negatives ())
+
+let () =
+  let seeds = ref 5 in
+  let budget = ref "default" in
+  let domains = ref (Modelcheck.Explore.default_domains ()) in
+  let emit = ref "" in
+  let replay = ref "" in
+  let samples = ref "" in
+  let quiet = ref false in
+  let spec =
+    [
+      ( "--seeds",
+        Arg.Set_int seeds,
+        "N generated instances joining the gadget pool (default 5)" );
+      ( "--budget",
+        Arg.Set_string budget,
+        "smoke|default|deep negative-fact cost classes to run (default: default)" );
+      ( "--domains",
+        Arg.Set_int domains,
+        "N worker domains for the positive sweep (default: DOMAINS env or cores)" );
+      ("--emit", Arg.Set_string emit, "DIR serialize shrunk counterexamples to DIR");
+      ( "--replay",
+        Arg.Set_string replay,
+        "DIR re-check every corpus entry in DIR and exit" );
+      ( "--write-samples",
+        Arg.Set_string samples,
+        "DIR regenerate the committed sample corpus entries and exit" );
+      ("--quiet", Arg.Set quiet, " suppress per-trial progress lines");
+    ]
+  in
+  Arg.parse spec
+    (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
+    "conformance [options]";
+  if !replay <> "" then replay_dir !replay
+  else if !samples <> "" then write_samples !samples
+  else begin
+    let budget =
+      match Conformance.Fuzz.budget_of_string !budget with
+      | Some b -> b
+      | None ->
+        Fmt.epr "conformance: unknown budget %S (smoke|default|deep)@." !budget;
+        exit 2
+    in
+    let cfg =
+      {
+        Conformance.Fuzz.seeds = !seeds;
+        budget;
+        domains = !domains;
+        emit_dir = (if !emit = "" then None else Some !emit);
+        log = (if !quiet then ignore else fun s -> Fmt.epr "%s@." s);
+      }
+    in
+    let report = Conformance.Fuzz.run cfg in
+    Fmt.pr "%a" Conformance.Fuzz.pp_report report;
+    exit (if Conformance.Fuzz.ok report then 0 else 1)
+  end

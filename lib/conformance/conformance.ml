@@ -1,0 +1,16 @@
+(** Differential conformance harness for the Figures 3/4 realization
+    matrices (the tentpole of the conformance test suite).
+
+    {!Trial} turns each symbolic fact of {!Realization.Facts} into an
+    executable check against the engine; {!Fuzz} sweeps trials over gadget
+    and generated instances; {!Shrink} minimizes counterexamples; and
+    {!Corpus} serializes them to the committed [results/conformance/]
+    corpus, which {!replay} re-checks deterministically. *)
+
+module Trial = Trial
+module Shrink = Shrink
+module Corpus = Corpus
+module Fuzz = Fuzz
+
+let replay = Corpus.replay
+let replay_file = Corpus.replay_file

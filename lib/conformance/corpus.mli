@@ -1,0 +1,64 @@
+(** Committed conformance corpus: JSON-serialized trials that
+    {!replay} re-checks deterministically.
+
+    A corpus entry is self-contained — it embeds the full instance (names,
+    destination, edges, ranked permitted paths) and the literal activation
+    entries, so replay does not depend on the seeded-RNG contract of
+    {!Spp.Generator} (that contract is guarded by its own regression
+    test).  Schema: ["commrouting/conformance/v1"], documented in
+    EXPERIMENTS.md.
+
+    Entries found by the fuzzer record the violation they witnessed
+    ([expect = "violated:<kind>"]); once the engine is fixed the entry is
+    flipped to [expect = "holds"] and committed as a regression. *)
+
+module Json = Engine.Metrics.Json
+
+val schema : string
+
+type expect = Expect_holds | Expect_violated of Trial.violation
+
+type case =
+  | Positive of Trial.positive * expect
+  | Negative_refutation of {
+      inst_name : string;
+      inst : Spp.Instance.t;
+      non_realizer : Engine.Model.t;
+      target_model : Engine.Model.t;  (** the model the witness runs under *)
+      level : Realization.Relation.level;
+      termination : Modelcheck.Refute.termination;
+      witness : Engine.Activation.t list;
+      channel_bound : int;
+      max_states : int;  (** the exploration budget replay must honor *)
+    }
+
+type t = { name : string; case : case }
+
+val positive : name:string -> expect:expect -> Trial.positive -> t
+
+(** {1 JSON} *)
+
+val instance_to_json : Spp.Instance.t -> Json.v
+val instance_of_json : Json.v -> (Spp.Instance.t, string) result
+val entries_to_json : Spp.Instance.t -> Engine.Activation.t list -> Json.v
+
+val entries_of_json :
+  Spp.Instance.t -> Json.v -> (Engine.Activation.t list, string) result
+
+val to_json : t -> Json.v
+val of_json : Json.v -> (t, string) result
+
+val save : string -> t -> unit
+val load : string -> (t, string) result
+
+(** {1 Replay} *)
+
+type outcome = { name : string; ok : bool; detail : string }
+
+val replay : t -> outcome
+(** Re-runs the entry's check and compares with its expectation.  For a
+    refutation entry, [Refute.Unknown] is a failure (the committed budget
+    no longer suffices), never a pass. *)
+
+val replay_file : string -> outcome
+(** {!load} composed with {!replay}; parse errors become failed outcomes. *)

@@ -1,0 +1,220 @@
+open Engine
+
+type budget = Smoke | Default | Deep
+
+let budget_of_string = function
+  | "smoke" -> Some Smoke
+  | "default" -> Some Default
+  | "deep" -> Some Deep
+  | _ -> None
+
+let budget_to_string = function
+  | Smoke -> "smoke"
+  | Default -> "default"
+  | Deep -> "deep"
+
+type config = {
+  seeds : int;
+  budget : budget;
+  domains : int;
+  emit_dir : string option;
+  log : string -> unit;
+}
+
+let default_config =
+  {
+    seeds = 5;
+    budget = Default;
+    domains = Modelcheck.Explore.default_domains ();
+    emit_dir = None;
+    log = ignore;
+  }
+
+type negative_result = {
+  neg : Trial.negative;
+  verdict : Trial.negative_verdict;
+}
+
+type report = {
+  positives_checked : int;
+  positives_held : int;
+  violations : (Trial.positive * Trial.violation) list;
+  negatives : negative_result list;
+  negatives_out_of_budget : int;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Trial generation. *)
+
+let instance_pool ~seeds =
+  let generated =
+    List.init (max 0 seeds) (fun i ->
+        let cfg =
+          {
+            Spp.Generator.nodes = 4 + (i mod 4);
+            extra_edges = i mod 3;
+            max_paths_per_node = 3;
+            max_path_len = 5;
+            seed = i;
+          }
+        in
+        (* Every fifth instance uses shortest-first ranking: convergent
+           inputs exercise the quiescent side of the trace relations. *)
+        let inst =
+          if i mod 5 = 4 then Spp.Generator.safe_instance cfg
+          else Spp.Generator.instance cfg
+        in
+        (Fmt.str "gen-%d" i, inst))
+  in
+  Spp.Gadgets.all_named () @ generated
+
+let schedule inst model ~seed ~len =
+  Scheduler.prefix len (Scheduler.random inst model ~seed)
+
+let trials ~seeds =
+  List.concat_map
+    (fun (inst_name, inst) ->
+      let len = max 8 (2 * Spp.Instance.size inst) in
+      List.mapi
+        (fun i (f : Realization.Facts.positive) ->
+          let seed = Hashtbl.hash (inst_name, i) land 0x3FFFFFFF in
+          Trial.of_fact f ~inst_name inst
+            (schedule inst f.Realization.Facts.realized ~seed ~len))
+        Realization.Facts.positives)
+    (instance_pool ~seeds)
+
+(* ------------------------------------------------------------------ *)
+(* Worker pool: trials are independent, so a shared atomic index over a
+   results array is all the coordination needed (the engine's shared
+   structures — the path arena, frozen instances — are domain-safe). *)
+
+let parallel_map ~domains f arr =
+  let n = Array.length arr in
+  let results = Array.make n None in
+  let next = Atomic.make 0 in
+  let worker () =
+    let rec loop () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < n then begin
+        results.(i) <- Some (f arr.(i));
+        loop ()
+      end
+    in
+    loop ()
+  in
+  if domains <= 1 then worker ()
+  else begin
+    let spawned = List.init (min domains n - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    List.iter Domain.join spawned
+  end;
+  Array.map Option.get results
+
+let in_budget budget (cost : Trial.cost) =
+  match (budget, cost) with
+  | _, Trial.Fast -> true
+  | (Default | Deep), Trial.Slow -> true
+  | Deep, Trial.Deep -> true
+  | Smoke, (Trial.Slow | Trial.Deep) | Default, Trial.Deep -> false
+
+let run cfg =
+  Trial.force_routes ();
+  let ts = Array.of_list (trials ~seeds:cfg.seeds) in
+  cfg.log
+    (Fmt.str "conformance: %d positive trials (%d instances x %d facts), %d domain%s"
+       (Array.length ts)
+       (List.length (instance_pool ~seeds:cfg.seeds))
+       (List.length Realization.Facts.positives)
+       cfg.domains
+       (if cfg.domains = 1 then "" else "s"));
+  let verdicts = parallel_map ~domains:(max 1 cfg.domains) Trial.check_positive ts in
+  let held = ref 0 in
+  let violations = ref [] in
+  Array.iteri
+    (fun i verdict ->
+      match verdict with
+      | Trial.Holds -> incr held
+      | Trial.Violated v ->
+        cfg.log (Fmt.str "VIOLATED %a: %a" Trial.pp_positive ts.(i) Trial.pp_violation v);
+        let shrunk = Shrink.positive ts.(i) in
+        let v =
+          match Trial.check_positive shrunk with
+          | Trial.Violated v' -> v'
+          | Trial.Holds -> v
+        in
+        cfg.log (Fmt.str "  shrunk to %a" Trial.pp_positive shrunk);
+        violations := (shrunk, v) :: !violations)
+    verdicts;
+  let violations = List.rev !violations in
+  (match cfg.emit_dir with
+  | None -> ()
+  | Some dir ->
+    List.iteri
+      (fun i (p, v) ->
+        let name =
+          Fmt.str "violation-%03d-%s-realizes-%s-%s" i
+            (Model.to_string p.Trial.realizer)
+            (Model.to_string p.Trial.realized)
+            (Trial.violation_name v)
+        in
+        let file = Filename.concat dir (name ^ ".json") in
+        Corpus.save file (Corpus.positive ~name ~expect:(Corpus.Expect_violated v) p);
+        cfg.log (Fmt.str "  wrote %s" file))
+      violations);
+  let all_negs = Trial.negatives () in
+  let in_scope, out = List.partition (fun n -> in_budget cfg.budget n.Trial.cost) all_negs in
+  let negatives =
+    List.map
+      (fun n ->
+        let verdict =
+          Trial.check_negative ~config:Modelcheck.Explore.default_config n
+        in
+        cfg.log
+          (Fmt.str "negative: %s -> %a" (Trial.negative_name n)
+             Trial.pp_negative_verdict verdict);
+        { neg = n; verdict })
+      in_scope
+  in
+  {
+    positives_checked = Array.length ts;
+    positives_held = !held;
+    violations;
+    negatives;
+    negatives_out_of_budget = List.length out;
+  }
+
+let falsely_passed r =
+  List.filter
+    (fun nr -> match nr.verdict with Trial.Falsely_passed _ -> true | _ -> false)
+    r.negatives
+
+let skipped r =
+  List.filter
+    (fun nr -> match nr.verdict with Trial.Skipped _ -> true | _ -> false)
+    r.negatives
+
+let ok r = r.violations = [] && falsely_passed r = []
+
+let pp_report ppf r =
+  Fmt.pf ppf "positive facts: %d/%d trials held, %d violated@."
+    r.positives_held r.positives_checked
+    (List.length r.violations);
+  List.iter
+    (fun (p, v) ->
+      Fmt.pf ppf "  VIOLATED %a: %a@." Trial.pp_positive p Trial.pp_violation v)
+    r.violations;
+  let confirmed =
+    List.length r.negatives - List.length (falsely_passed r) - List.length (skipped r)
+  in
+  Fmt.pf ppf
+    "negative facts: %d confirmed, %d skipped, %d falsely passed (%d out of budget)@."
+    confirmed
+    (List.length (skipped r))
+    (List.length (falsely_passed r))
+    r.negatives_out_of_budget;
+  List.iter
+    (fun nr ->
+      Fmt.pf ppf "  %s -> %a@." (Trial.negative_name nr.neg) Trial.pp_negative_verdict
+        nr.verdict)
+    (skipped r @ falsely_passed r);
+  Fmt.pf ppf "conformance: %s@." (if ok r then "OK" else "DRIFT DETECTED")

@@ -1,0 +1,73 @@
+(** The conformance fuzzing loop.
+
+    Draws an instance pool — every fixed gadget of {!Spp.Gadgets} plus
+    [seeds] generated instances from {!Spp.Generator} (configurations and
+    RNG seeds derived deterministically from the seed index) — and crosses
+    it with all positive facts of the Figures 3/4 matrices.  Each
+    (instance, fact) pair becomes one {!Trial.positive} whose source
+    schedule is a finite prefix of {!Engine.Scheduler.random} for the
+    realized model, with a seed derived from the pair, so a whole run is
+    reproducible from [--seeds] alone.
+
+    Positive trials are embarrassingly parallel and checked on a small
+    domain pool; violations are shrunk with {!Shrink} and optionally
+    serialized to a corpus directory.  Negative facts are then re-checked
+    within the budget's cost classes. *)
+
+type budget =
+  | Smoke  (** {!Trial.Fast} negatives only — what [@conformance-smoke] runs *)
+  | Default  (** adds {!Trial.Slow}; seconds of model checking *)
+  | Deep  (** adds {!Trial.Deep}; minutes (FIG6 under R1A/RMA) *)
+
+val budget_of_string : string -> budget option
+val budget_to_string : budget -> string
+
+type config = {
+  seeds : int;  (** number of generated instances joining the gadget pool *)
+  budget : budget;
+  domains : int;  (** worker domains for the positive sweep *)
+  emit_dir : string option;
+      (** where shrunk counterexamples are serialized, when set *)
+  log : string -> unit;  (** progress/violation lines; [ignore] to silence *)
+}
+
+val default_config : config
+(** 5 seeds, [Default] budget, {!Modelcheck.Explore.default_domains}
+    domains, no emission, silent. *)
+
+type negative_result = {
+  neg : Trial.negative;
+  verdict : Trial.negative_verdict;
+}
+
+type report = {
+  positives_checked : int;
+  positives_held : int;
+  violations : (Trial.positive * Trial.violation) list;
+      (** already shrunk to minimal counterexamples *)
+  negatives : negative_result list;  (** those within budget *)
+  negatives_out_of_budget : int;
+}
+
+val instance_pool : seeds:int -> (string * Spp.Instance.t) list
+
+val schedule :
+  Spp.Instance.t ->
+  Engine.Model.t ->
+  seed:int ->
+  len:int ->
+  Engine.Activation.t list
+(** A finite, model-legal, deterministic source schedule. *)
+
+val trials : seeds:int -> Trial.positive list
+
+val run : config -> report
+
+val falsely_passed : report -> negative_result list
+val skipped : report -> negative_result list
+
+val ok : report -> bool
+(** No violated positive fact and no falsely-passed negative fact.
+    Skips do not fail the run (they are reported instead). *)
+
+val pp_report : Format.formatter -> report -> unit

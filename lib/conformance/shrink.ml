@@ -1,0 +1,178 @@
+open Engine
+
+(* Rebuild an instance from its accessors, keeping only the given edges and
+   the permitted paths passing [keep_path]; ranks are preserved verbatim so
+   the preference order cannot drift during shrinking.  Returns [None] when
+   the mutated instance fails validation. *)
+let rebuild inst ~edges ~keep_path =
+  let ranked =
+    List.filter_map
+      (fun v ->
+        if v = Spp.Instance.dest inst then None
+        else
+          Some
+            ( v,
+              List.filter_map
+                (fun p ->
+                  if keep_path v p then
+                    Option.map (fun r -> (p, r)) (Spp.Instance.rank inst v p)
+                  else None)
+                (Spp.Instance.permitted inst v) ))
+      (Spp.Instance.nodes inst)
+  in
+  match
+    Spp.Instance.of_ranked
+      ~names:(Spp.Instance.names inst)
+      ~dest:(Spp.Instance.dest inst) ~edges ~ranked
+  with
+  | inst' -> Some inst'
+  | exception Invalid_argument _ -> None
+
+(* Keep only entries whose active nodes all pass [keep_node], restricted to
+   reads over still-existing channels. *)
+let adapt_entries inst' ~keep_node entries =
+  List.filter_map
+    (fun (e : Activation.t) ->
+      if List.for_all keep_node e.Activation.active then
+        Some
+          {
+            e with
+            Activation.reads =
+              List.filter
+                (fun (r : Activation.read) ->
+                  Spp.Instance.are_adjacent inst' r.Activation.chan.Channel.src
+                    r.Activation.chan.Channel.dst)
+                e.Activation.reads;
+          }
+      else None)
+    entries
+
+let path_uses_edge (u, v) p =
+  let rec loop = function
+    | a :: (b :: _ as rest) ->
+      ((a = u && b = v) || (a = v && b = u)) || loop rest
+    | _ -> false
+  in
+  loop (Spp.Path.to_nodes p)
+
+(* Candidate instance mutations, cheapest-win first: dropping a permitted
+   path keeps the graph intact; removing an edge or isolating a node also
+   prunes the schedule. *)
+let instance_candidates (t : Trial.positive) =
+  let inst = t.Trial.inst in
+  let drop_paths =
+    List.concat_map
+      (fun v ->
+        if v = Spp.Instance.dest inst then []
+        else
+          List.map
+            (fun p ->
+              lazy
+                (Option.map
+                   (fun inst' -> { t with Trial.inst = inst' })
+                   (rebuild inst
+                      ~edges:(Spp.Instance.edges inst)
+                      ~keep_path:(fun v' p' ->
+                        not (v' = v && Spp.Path.equal p' p)))))
+            (Spp.Instance.permitted inst v))
+      (Spp.Instance.nodes inst)
+  in
+  let drop_edges =
+    List.map
+      (fun e ->
+        lazy
+          (let edges = List.filter (fun e' -> e' <> e) (Spp.Instance.edges inst) in
+           Option.map
+             (fun inst' ->
+               {
+                 t with
+                 Trial.inst = inst';
+                 Trial.entries =
+                   adapt_entries inst' ~keep_node:(fun _ -> true) t.Trial.entries;
+               })
+             (rebuild inst ~edges ~keep_path:(fun _ p -> not (path_uses_edge e p)))))
+      (Spp.Instance.edges inst)
+  in
+  let isolate_nodes =
+    List.filter_map
+      (fun v ->
+        if v = Spp.Instance.dest inst then None
+        else
+          Some
+            (lazy
+              (let edges =
+                 List.filter
+                   (fun (a, b) -> a <> v && b <> v)
+                   (Spp.Instance.edges inst)
+               in
+               Option.map
+                 (fun inst' ->
+                   {
+                     t with
+                     Trial.inst = inst';
+                     Trial.entries =
+                       adapt_entries inst'
+                         ~keep_node:(fun u -> u <> v)
+                         t.Trial.entries;
+                   })
+                 (rebuild inst ~edges ~keep_path:(fun _ p ->
+                      not (Spp.Path.contains v p))))))
+      (Spp.Instance.nodes inst)
+  in
+  drop_paths @ drop_edges @ isolate_nodes
+
+let remove_chunk l ~off ~len =
+  List.filteri (fun i _ -> i < off || i >= off + len) l
+
+let positive (t0 : Trial.positive) =
+  match Trial.check_positive t0 with
+  | Trial.Holds -> t0
+  | Trial.Violated v0 ->
+    let still_violates t =
+      match Trial.check_positive t with
+      | Trial.Violated v -> Trial.same_violation v v0
+      | Trial.Holds -> false
+    in
+    (* Pass 1: ddmin-style chunk removal over the schedule. *)
+    let shrink_entries t =
+      let t = ref t in
+      let len = ref (List.length !t.Trial.entries / 2) in
+      while !len >= 1 do
+        let progressed = ref true in
+        while !progressed do
+          progressed := false;
+          let n = List.length !t.Trial.entries in
+          let off = ref 0 in
+          while !off + !len <= n && not !progressed do
+            let cand =
+              {
+                !t with
+                Trial.entries = remove_chunk !t.Trial.entries ~off:!off ~len:!len;
+              }
+            in
+            if still_violates cand then begin
+              t := cand;
+              progressed := true
+            end
+            else incr off
+          done
+        done;
+        len := !len / 2
+      done;
+      !t
+    in
+    (* Pass 2: greedy instance surgery to a fixpoint. *)
+    let rec shrink_instance t =
+      let better =
+        List.find_map
+          (fun cand ->
+            match Lazy.force cand with
+            | Some c when still_violates c -> Some c
+            | _ -> None)
+          (instance_candidates t)
+      in
+      match better with Some c -> shrink_instance c | None -> t
+    in
+    let t = shrink_entries t0 in
+    let t = shrink_instance t in
+    shrink_entries t

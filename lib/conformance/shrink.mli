@@ -1,0 +1,19 @@
+(** Counterexample minimization for violated positive trials.
+
+    Greedy delta-debugging over two axes, preserving the violation's
+    constructor ({!Trial.same_violation}):
+
+    - {e schedule}: remove contiguous chunks of entries (halving chunk
+      sizes down to single entries);
+    - {e instance}: drop a permitted path, remove an edge (with the paths
+      and reads that used it), or isolate a node (with its incident edges,
+      the paths through it, and the entries activating it).
+
+    Candidates whose source schedule is no longer legal in the realized
+    model check as [Source_entry_invalid], a different constructor, so the
+    invariant automatically rejects them (unless that {e was} the
+    violation). *)
+
+val positive : Trial.positive -> Trial.positive
+(** Smallest still-violating trial the greedy passes reach; returns the
+    input unchanged if it does not violate. *)

@@ -1,0 +1,7 @@
+DISAGREE oscillates under R1O but converges under REA; witnesses replay.
+Timings are normalized out and a single domain keeps exploration order
+stable:
+
+  $ DOMAINS=1 oscillation_check -i DISAGREE -m R1O -m REA --verify | sed 's/ (*[0-9][0-9]*\.[0-9]*s)*$//'
+  R1O  oscillates (witness: 3-step prefix, 6-step fair cycle) [witness replays]
+  REA  converges under every fair schedule

@@ -1,0 +1,30 @@
+A one-hop constructive realization route with its demo run:
+
+  $ realization_route R1O RMO
+  RMO realizes R1O at level: exact
+    R1O --[embed (Prop. 3.3)]--> RMO
+  demo on FIG6: 25 source steps -> 25 realized steps; relation checked: true
+
+A multi-hop route is composed from the Sec. 3.2 rules:
+
+  $ realization_route REA R1O
+  R1O realizes REA at level: subsequence
+    REA --[embed (Prop. 3.3)]--> RMS
+    RMS --[split M->1 (Thm. 3.5)]--> R1S
+    R1S --[serialize R1S->R1O (Prop. 3.6)]--> R1O
+  demo on FIG6: 25 source steps -> 65 realized steps; relation checked: true
+
+R1O cannot realize REO exactly (Prop. 3.10): the best constructive
+route tops out at repetition:
+
+  $ realization_route REO R1O
+  R1O realizes REO at level: repetition
+    REO --[embed (Prop. 3.3)]--> RMO
+    RMO --[split M->1 (Thm. 3.5)]--> R1O
+  demo on FIG6: 25 source steps -> 57 realized steps; relation checked: true
+
+An unknown model name is rejected:
+
+  $ realization_route R1O BOGUS
+  realization_route: unknown model "BOGUS"
+  [124]

@@ -1,0 +1,21 @@
+Structural report on the DISAGREE gadget, checked under R1O:
+
+  $ spp_report -i DISAGREE -m R1O
+  SPP instance (3 nodes, dest d)
+    x: neighbors {d, y}; permitted xyd > xd
+    y: neighbors {d, x}; permitted yxd > yd
+  
+  
+  3 nodes, 3 edges, 4 permitted paths
+  stable solutions: 2
+  dispute wheel:
+    pivot y: direct yd, rim route yxd
+    pivot x: direct xd, rim route xyd
+  greedy construction fails (instance is not dispute-wheel-free)
+  under R1O: oscillates (witness: 3-step prefix, 6-step fair cycle); 2 reachable stable solution(s)
+
+An unknown instance name fails with a diagnostic:
+
+  $ spp_report -i NO_SUCH_GADGET
+  spp_report: unknown instance "NO_SUCH_GADGET" (try DISAGREE, FIG6, FIG7, FIG8, FIG9, BAD-GADGET, GOOD-GADGET, SHORTEST-PATHS, bgp:<seed>, random:<seed> or file:<path>)
+  [124]

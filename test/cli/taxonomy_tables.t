@@ -1,0 +1,66 @@
+The derived Figures 3/4 realization matrices, exactly as printed:
+
+  $ taxonomy_tables
+  === Figure 3 (reliable realizers) ===
+           R1O   RMO   REO   R1S   RMS   RES   R1F   RMF   REF   R1A   RMA   REA
+     R1O     -     4    -1     4     4     4     4     4    -1    -1    -1    -1
+     RMO     3     -    -1     3     4     4     3     4    -1    -1    -1    -1
+     REO     3     4     -     3     4     4     3     4     4    -1    -1    -1
+     R1S     2     2    -1     -     4     4   >=2   >=2    -1    -1    -1    -1
+     RMS     2     2    -1     3     -     4   2,3   >=2    -1    -1    -1    -1
+     RES     2     2    -1     3     4     -   2,3   >=2    -1    -1    -1    -1
+     R1F     2     2    -1     4     4     4     -     4    -1    -1    -1    -1
+     RMF     2     2    -1     3     4     4     3     -    -1    -1    -1    -1
+     REF     2     2   <=2     3     4     4     3     4     -    -1    -1    -1
+     R1A     2     2   <=2     4     4     4     4     4           -     4      
+     RMA     2     2   <=2     3     4     4     3     4           3     -      
+     REA     2     2   <=2     3     4     4     3     4     4     3     4     -
+     U1O     2     2    -1     4     4     4   >=2   >=2    -1    -1    -1    -1
+     UMO     2     2    -1     3   >=3   >=3   2,3   >=2    -1    -1    -1    -1
+     UEO   2,3   >=2           3   >=3   >=3   2,3   >=2          -1    -1    -1
+     U1S     2     2    -1   >=3   >=3   >=3   >=2   >=2    -1    -1    -1    -1
+     UMS     2     2    -1     3   >=3   >=3   2,3   >=2    -1    -1    -1    -1
+     UES     2     2    -1     3   >=3   >=3   2,3   >=2    -1    -1    -1    -1
+     U1F     2     2    -1   >=3   >=3   >=3   >=2   >=2    -1    -1    -1    -1
+     UMF     2     2    -1     3   >=3   >=3   2,3   >=2    -1    -1    -1    -1
+     UEF     2     2   <=2     3   >=3   >=3   2,3   >=2          -1    -1    -1
+     U1A     2     2   <=2   >=3   >=3   >=3   >=2   >=2                        
+     UMA     2     2   <=2     3   >=3   >=3   2,3   >=2         <=3            
+     UEA     2     2   <=2     3   >=3   >=3   2,3   >=2         <=3            
+  === Figure 4 (unreliable realizers) ===
+           U1O   UMO   UEO   U1S   UMS   UES   U1F   UMF   UEF   U1A   UMA   UEA
+     R1O     4     4           4     4     4     4     4                        
+     RMO     3     4         >=3     4     4   >=3     4                        
+     REO     3     4     4   >=3     4     4   >=3     4     4                  
+     R1S   >=3   >=3           4     4     4   >=3   >=3                        
+     RMS     3   >=3         >=3     4     4   >=3   >=3                        
+     RES     3   >=3         >=3     4     4   >=3   >=3                        
+     R1F   >=3   >=3           4     4     4     4     4                        
+     RMF     3   >=3         >=3     4     4   >=3     4                        
+     REF     3   >=3         >=3     4     4   >=3     4     4                  
+     R1A   >=3   >=3           4     4     4     4     4           4     4      
+     RMA     3   >=3         >=3     4     4   >=3     4         >=3     4      
+     REA     3   >=3         >=3     4     4   >=3     4     4   >=3     4     4
+     U1O     -     4           4     4     4     4     4                        
+     UMO     3     -         >=3     4     4   >=3     4                        
+     UEO     3     4     -   >=3     4     4   >=3     4     4                  
+     U1S   >=3   >=3           -     4     4   >=3   >=3                        
+     UMS     3   >=3         >=3     -     4   >=3   >=3                        
+     UES     3   >=3         >=3     4     -   >=3   >=3                        
+     U1F   >=3   >=3           4     4     4     -     4                        
+     UMF     3   >=3         >=3     4     4   >=3     -                        
+     UEF     3   >=3         >=3     4     4   >=3     4     -                  
+     U1A   >=3   >=3           4     4     4     4     4           -     4      
+     UMA     3   >=3         >=3     4     4   >=3     4         >=3     -      
+     UEA     3   >=3         >=3     4     4   >=3     4     4   >=3     4     -
+  
+  Derived matrix vs. paper Figures 3-4 (552 off-diagonal cells):
+    match: 548
+    weaker: 0
+    stronger: 4
+    CONTRADICTION: 0
+  Cells differing from the paper:
+    U1O realized-by R1O: paper [2..4], derived [2..2] (stronger)
+    U1O realized-by RMO: paper [2..4], derived [2..2] (stronger)
+    UMO realized-by R1O: paper [2..3], derived [2..2] (stronger)
+    UMO realized-by RMO: paper [2..4], derived [2..2] (stronger)
