@@ -113,8 +113,16 @@ let () =
         Arg.Set_string budget,
         "smoke|default|deep negative-fact cost classes to run (default: default)" );
       ( "--domains",
-        Arg.Set_int domains,
-        "N worker domains for the positive sweep (default: DOMAINS env or cores)" );
+        Arg.String
+          (fun s ->
+            if String.lowercase_ascii (String.trim s) = "auto" then
+              domains := Modelcheck.Explore.auto_domains ()
+            else
+              match int_of_string_opt s with
+              | Some d when d >= 1 -> domains := d
+              | _ -> raise (Arg.Bad ("--domains expects an int >= 1 or \"auto\": " ^ s))),
+        "N|auto worker domains for the positive sweep (default: DOMAINS env, 1 \
+         otherwise; auto = recommended cores - 1)" );
       ("--emit", Arg.Set_string emit, "DIR serialize shrunk counterexamples to DIR");
       ( "--replay",
         Arg.Set_string replay,

@@ -14,7 +14,7 @@ open Spp
 open Engine
 module Json = Metrics.Json
 
-let schema = "commrouting/bench_explore/v2"
+let schema = "commrouting/bench_explore/v3"
 
 (* The state/route representation this binary was built with; recorded in
    the artifact so perf numbers are attributable across the PR 2 arena
@@ -28,10 +28,12 @@ type case = {
   inst : Instance.t;
   m : Model.t;
   config : Modelcheck.Explore.config;
+  deep : bool;  (* FIG6-class exhaustive case: subject to --min-speedup *)
 }
 
-let case ?(config = Modelcheck.Explore.default_config) instance_name inst mname =
-  { instance_name; inst; m = model mname; config }
+let case ?(config = Modelcheck.Explore.default_config) ?(deep = false) instance_name
+    inst mname =
+  { instance_name; inst; m = model mname; config; deep }
 
 (* The fast subset runs in well under a second; the deep cases are the Fig. 6
    exhaustive polling runs the paper harness also performs. *)
@@ -43,7 +45,8 @@ let fast_cases () =
     case "FIG6" Gadgets.fig6 "REA";
   ]
 
-let deep_cases () = [ case "FIG6" Gadgets.fig6 "R1A"; case "FIG6" Gadgets.fig6 "RMA" ]
+let deep_cases () =
+  [ case ~deep:true "FIG6" Gadgets.fig6 "R1A"; case ~deep:true "FIG6" Gadgets.fig6 "RMA" ]
 
 type run = {
   domains : int;
@@ -58,14 +61,31 @@ type run = {
   verdict : string;
 }
 
-let run_one c ~domains =
-  let metrics = Metrics.create () in
-  let graph = Modelcheck.Explore.explore ~config:c.config ~domains ~metrics c.inst c.m in
-  let verdict =
-    Metrics.timed ~m:metrics "analyze" (fun () ->
-        Modelcheck.Oscillation.verdict_name
-          (Modelcheck.Oscillation.analyze_graph c.inst graph))
+(* One timed exploration.  With [repeat > 1] the case runs that many times
+   and the fastest wall time is kept (fresh metrics each time, so counters
+   never accumulate across repetitions): min-of-N measures the code, not
+   the scheduler's mood, which matters once speedups are gated. *)
+let run_one c ~domains ~repeat =
+  let once () =
+    let metrics = Metrics.create () in
+    let graph =
+      Modelcheck.Explore.explore ~config:c.config ~domains ~metrics c.inst c.m
+    in
+    let verdict =
+      Metrics.timed ~m:metrics "analyze" (fun () ->
+          Modelcheck.Oscillation.verdict_name
+            (Modelcheck.Oscillation.analyze_graph c.inst graph))
+    in
+    (metrics, graph, verdict)
   in
+  let best = ref (once ()) in
+  for _ = 2 to max 1 repeat do
+    let ((m, _, _) as r) = once () in
+    let best_m, _, _ = !best in
+    if Metrics.phase_time m "explore" < Metrics.phase_time best_m "explore" then
+      best := r
+  done;
+  let metrics, graph, verdict = !best in
   {
     domains;
     states = Array.length graph.Modelcheck.Explore.states;
@@ -100,8 +120,8 @@ type case_result = {
   agree : bool; (* verdicts and state counts identical across domain counts *)
 }
 
-let run_case ~domains_list c =
-  let runs = List.map (fun d -> run_one c ~domains:d) domains_list in
+let run_case ~domains_list ~repeat c =
+  let runs = List.map (fun d -> run_one c ~domains:d ~repeat) domains_list in
   let agree =
     match runs with
     | [] -> true
@@ -112,25 +132,27 @@ let run_case ~domains_list c =
   in
   { c; runs; agree }
 
+(* Sequential wall / parallel wall for the case, when both settings ran. *)
+let speedup_of cr =
+  match
+    ( List.find_opt (fun r -> r.domains = 1) cr.runs,
+      List.find_opt (fun r -> r.domains > 1) cr.runs )
+  with
+  | Some seq, Some par when par.wall_s > 0. -> Some (seq.wall_s /. par.wall_s)
+  | _ -> None
+
 let json_of_case_result cr =
-  let speedup =
-    match
-      ( List.find_opt (fun r -> r.domains = 1) cr.runs,
-        List.find_opt (fun r -> r.domains > 1) cr.runs )
-    with
-    | Some seq, Some par when par.wall_s > 0. -> Some (seq.wall_s /. par.wall_s)
-    | _ -> None
-  in
   Json.Obj
     ([
        ("instance", Json.Str cr.c.instance_name);
        ("model", Json.Str (Model.to_string cr.c.m));
        ("channel_bound", Json.Num (float_of_int cr.c.config.Modelcheck.Explore.channel_bound));
        ("max_states", Json.Num (float_of_int cr.c.config.Modelcheck.Explore.max_states));
+       ("deep", Json.Bool cr.c.deep);
        ("runs", Json.List (List.map json_of_run cr.runs));
        ("agree", Json.Bool cr.agree);
      ]
-    @ match speedup with None -> [] | Some s -> [ ("speedup", Json.Num s) ])
+    @ match speedup_of cr with None -> [] | Some s -> [ ("speedup", Json.Num s) ])
 
 (* [par_domains]: DOMAINS when set and > 1, else 2 — there is always one
    parallel setting to compare against the sequential baseline. *)
@@ -158,19 +180,36 @@ let vm_hwm_kb () =
     |> Option.value ~default:0
   | exception Sys_error _ -> 0
 
-let run_all ~deep ~domains =
+let run_all ~deep ~domains ~repeat =
   let domains_list = [ 1; domains ] in
   let cases = fast_cases () @ (if deep then deep_cases () else []) in
-  List.map (run_case ~domains_list) cases
+  List.map (run_case ~domains_list ~repeat) cases
 
-let to_json ?baseline ~deep ~domains results =
+let to_json ?baseline ~deep ~domains ~repeat results =
+  let pool_stats =
+    let s = Pool.stats (Pool.get ()) in
+    Json.Obj
+      [
+        ("size", Json.Num (float_of_int s.Pool.size));
+        ("spawned_total", Json.Num (float_of_int s.Pool.spawned_total));
+        ("runs", Json.Num (float_of_int s.Pool.runs));
+      ]
+  in
+  let spill_threshold =
+    match Modelcheck.Explore.default_spill () with
+    | None -> Json.Null
+    | Some s -> Json.Num (float_of_int s)
+  in
   Json.Obj
     ([
        ("schema", Json.Str schema);
        ("repr", Json.Str repr);
        ("deep", Json.Bool deep);
        ("domains_compared", Json.List [ Json.Num 1.; Json.Num (float_of_int domains) ]);
+       ("repeat", Json.Num (float_of_int repeat));
+       ("spill_threshold", spill_threshold);
        ("cases", Json.List (List.map json_of_case_result results));
+       ("pool", pool_stats);
        ("vm_hwm_kb", Json.Num (float_of_int (vm_hwm_kb ())));
        ("arena_paths", Json.Num (float_of_int (Arena.size ())));
      ]
@@ -185,9 +224,10 @@ let write_file path contents =
    [baseline] embeds a previously emitted artifact (any schema version)
    under a "baseline" key, recording the before/after perf comparison in
    the artifact itself. *)
-let emit ?(path = "BENCH_explore.json") ?baseline ~deep ~domains () =
-  let results = run_all ~deep ~domains in
-  let text = Json.to_string (to_json ?baseline ~deep ~domains results) in
+let emit ?(path = "BENCH_explore.json") ?baseline ?(repeat = 1) ?min_speedup ~deep
+    ~domains () =
+  let results = run_all ~deep ~domains ~repeat in
+  let text = Json.to_string (to_json ?baseline ~deep ~domains ~repeat results) in
   write_file path text;
   let parse_failure =
     match Json.parse text with
@@ -205,7 +245,31 @@ let emit ?(path = "BENCH_explore.json") ?baseline ~deep ~domains () =
                cr.c.instance_name (Model.to_string cr.c.m)))
       results
   in
-  (results, parse_failure @ disagreements)
+  (* The regression gate: every deep (FIG6-class) case must reach the
+     requested sequential-vs-parallel speedup, so the "parallel slower than
+     sequential" regression this schema version fixed can never silently
+     return. *)
+  let slow =
+    match min_speedup with
+    | None -> []
+    | Some floor ->
+      List.filter_map
+        (fun cr ->
+          if not cr.c.deep then None
+          else
+            match speedup_of cr with
+            | Some s when s >= floor -> None
+            | Some s ->
+              Some
+                (Printf.sprintf "%s/%s: speedup %.3f below --min-speedup %.3f"
+                   cr.c.instance_name (Model.to_string cr.c.m) s floor)
+            | None ->
+              Some
+                (Printf.sprintf "%s/%s: no speedup measured (--min-speedup %.3f)"
+                   cr.c.instance_name (Model.to_string cr.c.m) floor))
+        results
+  in
+  (results, parse_failure @ disagreements @ slow)
 
 let pp_summary ppf results =
   List.iter
@@ -224,18 +288,24 @@ let pp_summary ppf results =
    arguments (exit 2). *)
 
 let usage =
-  "usage: bench_explore [-o FILE] [--domains N] [--deep|--fast] [--baseline FILE]\n\
+  "usage: bench_explore [-o FILE] [--domains N|auto] [--repeat N] [--deep|--fast]\n\
+  \                    [--baseline FILE] [--min-speedup X]\n\
    \  -o FILE          artifact path (default BENCH_explore.json)\n\
-   \  --domains N      parallel domain count to compare against domains=1 (N >= 2)\n\
+   \  --domains N      parallel domain count to compare against domains=1 (N >= 2,\n\
+   \                   or \"auto\" for recommended_domain_count - 1, at least 2)\n\
+   \  --repeat N       run each (case, domains) N times, keep the fastest (default 1)\n\
    \  --deep           include the Fig. 6 exhaustive polling cases (default;\n\
    \                   also controlled by the DEEP env var: DEEP=0 disables)\n\
    \  --fast           fast subset only (same as DEEP=0)\n\
-   \  --baseline FILE  embed a previously emitted artifact under \"baseline\"\n"
+   \  --baseline FILE  embed a previously emitted artifact under \"baseline\"\n\
+   \  --min-speedup X  exit 1 if any deep case's speedup falls below X\n"
 
 let main () =
   let path = ref "BENCH_explore.json" in
   let domains = ref (par_domains ()) in
+  let repeat = ref 1 in
   let baseline_path = ref None in
+  let min_speedup = ref None in
   (* DEEP env sets the default; --deep/--fast flags override. *)
   let deep = ref (deep_env ()) in
   let bad msg =
@@ -249,9 +319,17 @@ let main () =
       path := p;
       parse_args rest
     | "--domains" :: n :: rest ->
+      (if String.lowercase_ascii (String.trim n) = "auto" then
+         domains := max 2 (Modelcheck.Explore.auto_domains ())
+       else
+         match int_of_string_opt n with
+         | Some d when d >= 2 -> domains := d
+         | _ -> bad "--domains expects an int >= 2 or \"auto\"");
+      parse_args rest
+    | "--repeat" :: n :: rest ->
       (match int_of_string_opt n with
-      | Some d when d >= 2 -> domains := d
-      | _ -> bad "--domains expects an int >= 2");
+      | Some r when r >= 1 -> repeat := r
+      | _ -> bad "--repeat expects an int >= 1");
       parse_args rest
     | "--deep" :: rest ->
       deep := true;
@@ -261,6 +339,11 @@ let main () =
       parse_args rest
     | "--baseline" :: p :: rest ->
       baseline_path := Some p;
+      parse_args rest
+    | "--min-speedup" :: x :: rest ->
+      (match float_of_string_opt x with
+      | Some f when f > 0. -> min_speedup := Some f
+      | _ -> bad "--min-speedup expects a positive float");
       parse_args rest
     | arg :: _ -> bad (Printf.sprintf "unknown argument %s" arg)
   in
@@ -276,7 +359,10 @@ let main () =
         | Error e -> bad (Printf.sprintf "baseline %s does not parse: %s" p e))
       | exception Sys_error e -> bad e)
   in
-  let results, failures = emit ~path:!path ?baseline ~deep:!deep ~domains:!domains () in
+  let results, failures =
+    emit ~path:!path ?baseline ~repeat:!repeat ?min_speedup:!min_speedup ~deep:!deep
+      ~domains:!domains ()
+  in
   Format.printf "explore bench (domains 1 vs %d):@." !domains;
   pp_summary Format.std_formatter results;
   Format.printf "wrote %s@." !path;

@@ -86,13 +86,16 @@ let trials ~seeds =
 (* ------------------------------------------------------------------ *)
 (* Worker pool: trials are independent, so a shared atomic index over a
    results array is all the coordination needed (the engine's shared
-   structures — the path arena, frozen instances — are domain-safe). *)
+   structures — the path arena, frozen instances — are domain-safe).
+   Workers come from the persistent {!Engine.Pool}: a full sweep runs
+   thousands of trials over many [run] calls, and spawning domains per
+   call (the PR 1 scheme) cost an all-domain rendezvous each time. *)
 
 let parallel_map ~domains f arr =
   let n = Array.length arr in
   let results = Array.make n None in
   let next = Atomic.make 0 in
-  let worker () =
+  let worker _ =
     let rec loop () =
       let i = Atomic.fetch_and_add next 1 in
       if i < n then begin
@@ -102,12 +105,7 @@ let parallel_map ~domains f arr =
     in
     loop ()
   in
-  if domains <= 1 then worker ()
-  else begin
-    let spawned = List.init (min domains n - 1) (fun _ -> Domain.spawn worker) in
-    worker ();
-    List.iter Domain.join spawned
-  end;
+  Pool.run (Pool.get ()) ~workers:(max 1 (min domains n)) worker;
   Array.map Option.get results
 
 let in_budget budget (cost : Trial.cost) =

@@ -37,6 +37,13 @@ let incr_dedup t = add t.dedup_hits 1
 let add_edges t n = add t.edges n
 let incr_pruned t = add t.pruned_writes 1
 let incr_truncated t = add t.truncated_interns 1
+
+(* Bulk variants: explorer workers count in domain-local buffers and merge
+   once at join, so the hot path never touches these shared atomics. *)
+let add_interned t n = add t.states_interned n
+let add_dedup t n = add t.dedup_hits n
+let add_pruned t n = add t.pruned_writes n
+let add_truncated t n = add t.truncated_interns n
 let incr_steps t = add t.steps 1
 let add_messages t n = add t.messages n
 let set_domains t n = Atomic.set t.domains n

@@ -31,6 +31,15 @@ val incr_steps : t -> unit
 val add_messages : t -> int -> unit
 (** Messages pushed into channels by executor steps. *)
 
+val add_interned : t -> int -> unit
+val add_dedup : t -> int -> unit
+val add_pruned : t -> int -> unit
+val add_truncated : t -> int -> unit
+(** Bulk counterparts of the [incr_*] functions above: parallel-explorer
+    workers accumulate in domain-local buffers and merge them here once at
+    join, instead of hammering (and false-sharing) the shared atomics from
+    the hot path. *)
+
 val observe_frontier : t -> int -> unit
 (** Record the current frontier size; keeps the maximum seen. *)
 

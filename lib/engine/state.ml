@@ -36,13 +36,21 @@ type t = {
   chans : Channel.t;
   dig_core : int; (* XOR of binding hashes of pi, rho, ann *)
   dig_chans : int; (* XOR of binding hashes of chans *)
+  max_occ : int; (* longest queue in [chans]; 0 when all empty *)
 }
 
 let digest t = (t.dig_core lxor t.dig_chans) land max_int
 let hash = digest
+let max_occupancy t = t.max_occ
 
-let chans_digest chans =
-  Channel.Map.fold (fun c msgs acc -> acc lxor h_chan c msgs) chans 0
+(* Digest and longest queue in one pass: both explorers check the channel
+   bound on every generated successor, so the occupancy must be cached
+   here — rescanning the whole map per edge (the old
+   [Channel.max_occupancy] call) doubled the per-successor map walks. *)
+let chans_digest_occ chans =
+  Channel.Map.fold
+    (fun c msgs (dig, occ) -> (dig lxor h_chan c msgs, max occ (List.length msgs)))
+    chans (0, 0)
 
 let initial inst =
   let d = Instance.dest inst in
@@ -54,6 +62,7 @@ let initial inst =
     chans = Channel.empty;
     dig_core = h_pi d p0;
     dig_chans = 0;
+    max_occ = 0;
   }
 
 let find_i k m = match IMap.find_opt k m with Some p -> p | None -> Arena.epsilon
@@ -103,7 +112,50 @@ let with_rho t c p = with_rho_id t c (Arena.intern p)
 let with_announced t v p = with_announced_id t v (Arena.intern p)
 
 let with_channels t chans =
-  if t.chans == chans then t else { t with chans; dig_chans = chans_digest chans }
+  if t.chans == chans then t
+  else
+    let dig_chans, max_occ = chans_digest_occ chans in
+    { t with chans; dig_chans; max_occ }
+
+(* Single-channel updates, the engine's hot path (every processed read and
+   every announcement push of Step.apply): adjust the digest by XORing one
+   channel's binding hash out and in — O(queue length), not O(total
+   messages) — and maintain the occupancy cache incrementally.  A push can
+   only raise the maximum (to the pushed queue's new length); a drop can
+   only lower it, and only when the drained queue was (one of) the longest,
+   in which case one rescan recomputes the exact value. *)
+
+let push_channel t c msg =
+  let old = Channel.get t.chans c in
+  let h_old = h_chan c old in
+  let h_new = mix3 0x54 h_old msg in
+  let dig_chans =
+    t.dig_chans lxor (match old with [] -> 0 | _ -> h_old) lxor h_new
+  in
+  {
+    t with
+    chans = Channel.push t.chans c msg;
+    dig_chans;
+    max_occ = max t.max_occ (List.length old + 1);
+  }
+
+let drop_first_channel t c i =
+  if i <= 0 then t
+  else
+    match Channel.get t.chans c with
+    | [] -> t
+    | old ->
+      let old_len = List.length old in
+      let chans = Channel.drop_first t.chans c i in
+      let kept = Channel.get chans c in
+      let dig_chans =
+        t.dig_chans lxor h_chan c old
+        lxor (match kept with [] -> 0 | _ -> h_chan c kept)
+      in
+      let max_occ =
+        if old_len < t.max_occ then t.max_occ else Channel.max_occupancy chans
+      in
+      { t with chans; dig_chans; max_occ }
 
 (* The route the node would choose right now: one O(1) permitted-extension
    lookup per neighbor (Instance.ext_tbl), no interning, no list scans. *)

@@ -45,6 +45,21 @@ val with_announced_id : t -> Spp.Path.node -> Spp.Arena.id -> t
 
 val with_channels : t -> Channel.t -> t
 
+val push_channel : t -> Channel.id -> Spp.Arena.id -> t
+(** Append one message to one channel, adjusting the digest and the cached
+    occupancy in O(queue length) — the whole-map refold of
+    {!with_channels} is skipped. *)
+
+val drop_first_channel : t -> Channel.id -> int -> t
+(** Remove the [i] oldest messages of one channel (at most its length),
+    with the same single-channel digest/occupancy maintenance as
+    {!push_channel}. *)
+
+val max_occupancy : t -> int
+(** Length of the longest channel queue, cached: O(1).  Equals
+    [Channel.max_occupancy (channels t)]; both explorers consult it on
+    every generated successor (the channel-bound prune check). *)
+
 val best_choice : Spp.Instance.t -> t -> Spp.Path.node -> Spp.Path.t
 (** The route the node would choose right now (step 3 of Def. 2.3): the most
     preferred permitted extension of its known routes ρ; the trivial path at

@@ -64,7 +64,7 @@ let apply ?(check = true) ?(export = export_all) inst state (entry : Activation.
             | Some msg -> State.with_rho_id st c msg
             | None -> st (* all processed messages dropped: rho unchanged *)
           in
-          State.with_channels st (Channel.drop_first (State.channels st) c i)
+          State.drop_first_channel st c i
         end)
       state entry.Activation.reads
   in
@@ -97,7 +97,7 @@ let apply ?(check = true) ?(export = export_all) inst state (entry : Activation.
                   else begin
                     let c = Channel.id ~src:v ~dst:u in
                     pushed := (c, Arena.path eff_new) :: !pushed;
-                    State.with_channels st (Channel.push (State.channels st) c eff_new)
+                    State.push_channel st c eff_new
                   end)
               st (Instance.neighbors inst v)
           in

@@ -4,11 +4,24 @@ type config = { channel_bound : int; max_states : int }
 
 let default_config = { channel_bound = 4; max_states = 200_000 }
 
+let auto_domains () = max 1 (Domain.recommended_domain_count () - 1)
+
 let default_domains () =
   match Sys.getenv_opt "DOMAINS" with
-  | Some s -> (
-    match int_of_string_opt (String.trim s) with Some n when n >= 1 -> n | _ -> 1)
   | None -> 1
+  | Some s -> (
+    let s = String.trim s in
+    if String.lowercase_ascii s = "auto" then auto_domains ()
+    else match int_of_string_opt s with Some n when n >= 1 -> n | _ -> 1)
+
+(* The adaptive cutover (see [explore_ws]): parallel workers only engage
+   once the sequential warm start has grown the frontier past this
+   threshold, so instances that explore in a few hundred states never pay
+   any parallel overhead.  On a machine without hardware parallelism extra
+   domains can only add minor-GC synchronization barriers, so the spill
+   never triggers there at all. *)
+let default_spill () =
+  if Domain.recommended_domain_count () <= 1 then None else Some 64
 
 type edge = { dst : int; label : Enumerate.labeled }
 
@@ -29,9 +42,14 @@ end)
 (* For reliable polling models (msg = All, no drops) only the newest message
    in a channel can ever become a known route, so collapsing every queue to
    its last element is an exact bisimulation and shrinks the state space
-   dramatically. *)
+   dramatically.  The cached occupancy makes the no-op case (every queue
+   already holds at most one message) O(1). *)
 let collapse_state model st =
-  if model.Model.rel = Model.Reliable && model.Model.msg = Model.M_all then begin
+  if
+    model.Model.rel = Model.Reliable
+    && model.Model.msg = Model.M_all
+    && State.max_occupancy st > 1
+  then begin
     let chans = State.channels st in
     let collapsed =
       Channel.Map.map
@@ -51,7 +69,9 @@ let collapse_state model st =
    and g bookkeeping is untouched.
 
    On arena ids, "v·r is permitted" is one hash lookup
-   (Instance.permitted_extension), so the projection is O(1) per route. *)
+   (Instance.permitted_extension), so the projection is O(1) per route.  A
+   cheap dirtiness pre-pass keeps the common all-relevant case free of the
+   channel-map rebuild (and of the digest refold it would trigger). *)
 let project_state inst st =
   let relevant v (r : Spp.Arena.id) =
     (not (Spp.Arena.is_epsilon r))
@@ -64,13 +84,24 @@ let project_state inst st =
         else State.with_rho_id acc c Spp.Arena.epsilon)
       st (State.rho_bindings_id st)
   in
-  let projected_chans =
-    Channel.Map.mapi
+  let chans = State.channels st in
+  let dirty =
+    Channel.Map.exists
       (fun (c : Channel.id) msgs ->
-        List.map (fun r -> if relevant c.Channel.dst r then r else Spp.Arena.epsilon) msgs)
-      (State.channels st)
+        List.exists
+          (fun r -> (not (Spp.Arena.is_epsilon r)) && not (relevant c.Channel.dst r))
+          msgs)
+      chans
   in
-  State.with_channels st projected_chans
+  if not dirty then st
+  else
+    State.with_channels st
+      (Channel.Map.mapi
+         (fun (c : Channel.id) msgs ->
+           List.map
+             (fun r -> if relevant c.Channel.dst r then r else Spp.Arena.epsilon)
+             msgs)
+         chans)
 
 let tick metrics f = match metrics with Some m -> f m | None -> ()
 
@@ -118,7 +149,7 @@ let explore_seq ~config ?metrics inst ~successors ~collapse =
         (fun (labeled : Enumerate.labeled) ->
           let outcome = Step.apply ~check:false inst st labeled.Enumerate.entry in
           let st' = project_state inst (collapse outcome.Step.state) in
-          if Channel.max_occupancy (State.channels st') > config.channel_bound then begin
+          if State.max_occupancy st' > config.channel_bound then begin
             pruned := true;
             tick metrics Metrics.incr_pruned;
             None
@@ -143,25 +174,127 @@ let explore_seq ~config ?metrics inst ~successors ~collapse =
   { states = states_arr; adjacency = adj; pruned = !pruned; truncated = !truncated }
 
 (* ------------------------------------------------------------------ *)
-(* Parallel exploration: a hand-rolled Domain pool over a shared frontier.
-   Workers pop batches of frontier states, expand them fully in parallel
-   (Step.apply, projection, collapse are pure), and intern successors in a
-   lock-striped table sharded by State.digest.  Global state ids come from
-   a bounded CAS counter, so the [max_states] cap is exact.  Exploration
-   order is nondeterministic, hence so is the numbering — but the reachable
-   state SET, [pruned]/[truncated], and every derived verdict match the
-   sequential explorer (state 0 is always the initial state). *)
+(* Parallel exploration, rearchitected around work stealing (PR 4).
+
+   PR 1's pool shared one mutex+condvar frontier: every push took the
+   global lock and broadcast the condvar, so workers spent their time in a
+   lock convoy (the committed v2 bench shows 2-domain runs at 0.24-0.47x
+   sequential).  Here each worker owns a deque: it pushes and pops fresh
+   states at the back (uncontended in the common case) and, when dry,
+   steals a batch from the front of a victim's deque — the oldest,
+   shallowest states, i.e. the largest unexplored subtrees.  Termination
+   is an atomic in-flight counter (states pushed anywhere but not yet
+   fully expanded): children are counted before their parent is
+   discharged, so the counter reaching zero is stable and means global
+   exhaustion — no condition variables anywhere.
+
+   Exploration starts sequentially on the calling domain and only spills
+   to the persistent {!Engine.Pool} once the frontier outgrows the spill
+   threshold, so small state spaces (DISAGREE explores 18 states) never
+   wake a single worker.  Counters are buffered per worker and merged into
+   [metrics] once at join; the only shared hot-path writes are the intern
+   table's striped locks and the two atomics (id counter, in-flight).
+
+   Exploration order beyond the warm start is nondeterministic, hence so
+   is the numbering — but the reachable state SET, [pruned]/[truncated],
+   and every derived verdict match the sequential explorer (state 0 is
+   always the initial state). *)
 
 type shard = { mu : Mutex.t; tbl : int StateTbl.t }
 
-let explore_par ~config ~domains ?metrics inst ~successors ~collapse =
+(* A double-ended work queue under its own (rarely contended) lock.  The
+   owner uses the back; thieves take batches from the front.  Slots are
+   not cleared on pop: every parked state is also interned in the shard
+   tables and retained by the result graph, so stale references cost
+   nothing extra. *)
+module Deque = struct
+  type 'a t = {
+    mu : Mutex.t;
+    mutable buf : 'a array;
+    mutable head : int; (* index of the front element *)
+    mutable len : int;
+  }
+
+  let create () = { mu = Mutex.create (); buf = [||]; head = 0; len = 0 }
+
+  let grow d seed =
+    let cap = Array.length d.buf in
+    let nbuf = Array.make (max 64 (2 * cap)) seed in
+    for i = 0 to d.len - 1 do
+      nbuf.(i) <- d.buf.((d.head + i) mod cap)
+    done;
+    d.buf <- nbuf;
+    d.head <- 0
+
+  let push_back d x =
+    Mutex.lock d.mu;
+    if d.len = Array.length d.buf then grow d x;
+    d.buf.((d.head + d.len) mod Array.length d.buf) <- x;
+    d.len <- d.len + 1;
+    Mutex.unlock d.mu
+
+  let pop_back d =
+    Mutex.lock d.mu;
+    let r =
+      if d.len = 0 then None
+      else begin
+        d.len <- d.len - 1;
+        Some d.buf.((d.head + d.len) mod Array.length d.buf)
+      end
+    in
+    Mutex.unlock d.mu;
+    r
+
+  (* Up to half the victim's queue, capped; front first. *)
+  let steal_front d ~max_n =
+    Mutex.lock d.mu;
+    let k = min max_n ((d.len + 1) / 2) in
+    let r =
+      if k = 0 then []
+      else begin
+        let cap = Array.length d.buf in
+        let items = List.init k (fun i -> d.buf.((d.head + i) mod cap)) in
+        d.head <- (d.head + k) mod cap;
+        d.len <- d.len - k;
+        items
+      end
+    in
+    Mutex.unlock d.mu;
+    r
+end
+
+(* Domain-local counter buffer; padded past a cache line so adjacent
+   workers' buffers never false-share. *)
+type wstats = {
+  mutable s_interned : int;
+  mutable s_dedup : int;
+  mutable s_edges : int;
+  mutable s_pruned : int;
+  mutable s_truncated : int;
+  mutable s_peak : int;
+  mutable pad0 : int;
+  mutable pad1 : int;
+}
+
+let fresh_stats () =
+  {
+    s_interned = 0;
+    s_dedup = 0;
+    s_edges = 0;
+    s_pruned = 0;
+    s_truncated = 0;
+    s_peak = 0;
+    pad0 = 0;
+    pad1 = 0;
+  }
+
+let explore_ws ~config ~domains ~spill ?metrics inst ~successors ~collapse =
   let max_states = max 1 config.max_states in
   let n_shards = 64 in
   let shards =
     Array.init n_shards (fun _ -> { mu = Mutex.create (); tbl = StateTbl.create 256 })
   in
   let counter = Atomic.make 0 in
-  let pruned = Atomic.make false and truncated = Atomic.make false in
   (* Claim the next state id unless the bound is exhausted. *)
   let rec claim_id () =
     let n = Atomic.get counter in
@@ -169,151 +302,174 @@ let explore_par ~config ~domains ?metrics inst ~successors ~collapse =
     else if Atomic.compare_and_set counter n (n + 1) then Some n
     else claim_id ()
   in
-  let intern st =
-    let sh = shards.(State.digest st mod n_shards) in
+  let intern stats st =
+    let sh = shards.(State.digest st land (n_shards - 1)) in
     Mutex.lock sh.mu;
     match StateTbl.find_opt sh.tbl st with
     | Some i ->
       Mutex.unlock sh.mu;
-      tick metrics Metrics.incr_dedup;
+      stats.s_dedup <- stats.s_dedup + 1;
       Some (i, false)
     | None -> (
       match claim_id () with
       | None ->
         Mutex.unlock sh.mu;
-        Atomic.set truncated true;
-        tick metrics Metrics.incr_truncated;
+        stats.s_truncated <- stats.s_truncated + 1;
         None
       | Some i ->
         StateTbl.add sh.tbl st i;
         Mutex.unlock sh.mu;
-        tick metrics Metrics.incr_interned;
+        stats.s_interned <- stats.s_interned + 1;
         Some (i, true))
   in
-  (* Shared frontier with termination detection: [pending] counts popped but
-     not yet expanded states; the exploration is over when the queue is
-     empty and nothing is pending. *)
-  let frontier : (int * State.t) Queue.t = Queue.create () in
-  let fmu = Mutex.create () and fcond = Condition.create () in
-  let pending = ref 0 and finished = ref false in
-  let batch_size = 16 in
-  let push_frontier items =
-    if items <> [] then begin
-      Mutex.lock fmu;
-      List.iter (fun x -> Queue.add x frontier) items;
-      tick metrics (fun m -> Metrics.observe_frontier m (Queue.length frontier));
-      Condition.broadcast fcond;
-      Mutex.unlock fmu
-    end
-  in
-  let pop_batch () =
-    Mutex.lock fmu;
-    let rec wait () =
-      if !finished then begin
-        Mutex.unlock fmu;
-        None
-      end
-      else if Queue.is_empty frontier then
-        if !pending = 0 then begin
-          finished := true;
-          Condition.broadcast fcond;
-          Mutex.unlock fmu;
-          None
-        end
-        else begin
-          Condition.wait fcond fmu;
-          wait ()
-        end
-      else begin
-        let batch = ref [] and n = ref 0 in
-        while (not (Queue.is_empty frontier)) && !n < batch_size do
-          batch := Queue.pop frontier :: !batch;
-          incr n
-        done;
-        pending := !pending + !n;
-        Mutex.unlock fmu;
-        Some !batch
-      end
-    in
-    wait ()
-  in
-  let done_batch k =
-    Mutex.lock fmu;
-    pending := !pending - k;
-    if !pending = 0 && Queue.is_empty frontier then begin
-      finished := true;
-      Condition.broadcast fcond
-    end;
-    Mutex.unlock fmu
-  in
-  let abort () =
-    Mutex.lock fmu;
-    finished := true;
-    Condition.broadcast fcond;
-    Mutex.unlock fmu
-  in
-  let expand (i, st) =
-    let fresh = ref [] in
+  (* Expand one state: [push] receives each fresh successor. *)
+  let expand stats ~push (i, st) =
     let edges =
       List.filter_map
         (fun (labeled : Enumerate.labeled) ->
           let outcome = Step.apply ~check:false inst st labeled.Enumerate.entry in
           let st' = project_state inst (collapse outcome.Step.state) in
-          if Channel.max_occupancy (State.channels st') > config.channel_bound then begin
-            Atomic.set pruned true;
-            tick metrics Metrics.incr_pruned;
+          if State.max_occupancy st' > config.channel_bound then begin
+            stats.s_pruned <- stats.s_pruned + 1;
             None
           end
           else begin
-            match intern st' with
+            match intern stats st' with
             | None -> None
-            | Some (j, is_fresh) ->
-              if is_fresh then fresh := (j, st') :: !fresh;
+            | Some (j, fresh) ->
+              if fresh then push (j, st');
               Some { dst = j; label = labeled }
           end)
         (successors st)
     in
-    tick metrics (fun m -> Metrics.add_edges m (List.length edges));
-    push_frontier !fresh;
+    stats.s_edges <- stats.s_edges + List.length edges;
     (i, edges)
   in
-  let worker () =
-    let rec go acc =
-      match pop_batch () with
-      | None -> acc
-      | Some batch ->
-        let acc = List.fold_left (fun acc item -> expand item :: acc) acc batch in
-        done_batch (List.length batch);
-        go acc
-    in
-    try go [] with e -> abort (); raise e
-  in
+  (* Phase 1: sequential warm start on the calling domain.  Frontier depth
+     is sampled outside any critical section (there is none here). *)
   let init = State.initial inst in
-  (match intern init with Some (0, true) -> () | _ -> assert false);
-  push_frontier [ (0, init) ];
-  let handles = List.init domains (fun _ -> Domain.spawn worker) in
-  let rows = List.concat_map Domain.join handles in
+  let seq_stats = fresh_stats () in
+  (match intern seq_stats init with Some (0, true) -> () | _ -> assert false);
+  let queue = Queue.create () in
+  Queue.add (0, init) queue;
+  let seq_rows = ref [] in
+  while (not (Queue.is_empty queue)) && Queue.length queue <= spill do
+    let item = Queue.pop queue in
+    let row = expand seq_stats ~push:(fun x -> Queue.add x queue) item in
+    seq_rows := row :: !seq_rows;
+    seq_stats.s_peak <- max seq_stats.s_peak (Queue.length queue)
+  done;
+  (* Phase 2: the frontier outgrew the threshold — split it round-robin
+     over per-worker deques and hand off to the persistent pool. *)
+  let k = min (max 2 domains) (Pool.max_workers + 1) in
+  let wstats = Array.init k (fun _ -> fresh_stats ()) in
+  let rows_of = Array.make k [] in
+  if not (Queue.is_empty queue) then begin
+    let deques = Array.init k (fun _ -> Deque.create ()) in
+    let in_flight = Atomic.make (Queue.length queue) in
+    let ix = ref 0 in
+    Queue.iter
+      (fun item ->
+        Deque.push_back deques.(!ix mod k) item;
+        incr ix)
+      queue;
+    let worker wid =
+      let my = deques.(wid) in
+      let stats = wstats.(wid) in
+      let rows = ref [] in
+      let process item =
+        (* Fresh successors are counted into [in_flight] before the parent
+           is discharged, so the counter can only hit zero when no state is
+           queued or being expanded anywhere. *)
+        let fresh = ref [] and n_fresh = ref 0 in
+        let row =
+          expand stats item ~push:(fun x ->
+              fresh := x :: !fresh;
+              incr n_fresh)
+        in
+        rows := row :: !rows;
+        if !n_fresh > 0 then begin
+          let f = Atomic.fetch_and_add in_flight !n_fresh + !n_fresh in
+          if f > stats.s_peak then stats.s_peak <- f;
+          List.iter (Deque.push_back my) !fresh
+        end;
+        ignore (Atomic.fetch_and_add in_flight (-1))
+      in
+      let try_steal () =
+        let rec go off =
+          if off >= k then []
+          else
+            match Deque.steal_front deques.((wid + off) mod k) ~max_n:32 with
+            | [] -> go (off + 1)
+            | stolen -> stolen
+        in
+        go 1
+      in
+      let rec loop idle =
+        match Deque.pop_back my with
+        | Some item ->
+          process item;
+          loop 0
+        | None ->
+          if Atomic.get in_flight = 0 then ()
+          else begin
+            (match try_steal () with
+            | first :: rest ->
+              List.iter (Deque.push_back my) rest;
+              process first;
+              loop 0
+            | [] ->
+              (* Nothing stealable but expansions are still in flight:
+                 spin briefly, then yield the core so the expanding worker
+                 can run (essential when domains outnumber cores). *)
+              if idle < 64 then Domain.cpu_relax () else Unix.sleepf 5e-5;
+              loop (min (idle + 1) 1000))
+          end
+      in
+      loop 0;
+      rows_of.(wid) <- !rows
+    in
+    Pool.run (Pool.get ()) ~workers:k worker
+  end;
+  (* Merge: per-worker buffers into the shared metrics, rows into the
+     adjacency, shard tables into the state array. *)
+  let sum f = Array.fold_left (fun acc w -> acc + f w) (f seq_stats) wstats in
+  let peak = Array.fold_left (fun acc w -> max acc w.s_peak) seq_stats.s_peak wstats in
+  tick metrics (fun m ->
+      Metrics.add_interned m (sum (fun w -> w.s_interned));
+      Metrics.add_dedup m (sum (fun w -> w.s_dedup));
+      Metrics.add_edges m (sum (fun w -> w.s_edges));
+      Metrics.add_pruned m (sum (fun w -> w.s_pruned));
+      Metrics.add_truncated m (sum (fun w -> w.s_truncated));
+      Metrics.observe_frontier m peak);
   let n = Atomic.get counter in
   let states_arr = Array.make n init in
   Array.iter (fun sh -> StateTbl.iter (fun st i -> states_arr.(i) <- st) sh.tbl) shards;
   let adj = Array.make n [] in
-  List.iter (fun (i, es) -> adj.(i) <- es) rows;
+  List.iter (fun (i, es) -> adj.(i) <- es) !seq_rows;
+  Array.iter (List.iter (fun (i, es) -> adj.(i) <- es)) rows_of;
   {
     states = states_arr;
     adjacency = adj;
-    pruned = Atomic.get pruned;
-    truncated = Atomic.get truncated;
+    pruned = sum (fun w -> w.s_pruned) > 0;
+    truncated = sum (fun w -> w.s_truncated) > 0;
   }
 
-let explore_with ?(config = default_config) ?domains ?metrics inst ~successors
+let explore_with ?(config = default_config) ?domains ?spill ?metrics inst ~successors
     ~collapse =
   let domains = match domains with Some d -> max 1 d | None -> default_domains () in
   tick metrics (fun m -> Metrics.set_domains m domains);
+  let spill =
+    if domains = 1 then None
+    else match spill with Some s -> Some (max 0 s) | None -> default_spill ()
+  in
   Metrics.timed ?m:metrics "explore" (fun () ->
-      if domains = 1 then explore_seq ~config ?metrics inst ~successors ~collapse
-      else explore_par ~config ~domains ?metrics inst ~successors ~collapse)
+      match spill with
+      | None -> explore_seq ~config ?metrics inst ~successors ~collapse
+      | Some spill ->
+        explore_ws ~config ~domains ~spill ?metrics inst ~successors ~collapse)
 
-let explore ?config ?domains ?metrics inst model =
-  explore_with ?config ?domains ?metrics inst
+let explore ?config ?domains ?spill ?metrics inst model =
+  explore_with ?config ?domains ?spill ?metrics inst
     ~successors:(Enumerate.successors inst model)
     ~collapse:(collapse_state model)

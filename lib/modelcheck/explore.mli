@@ -6,11 +6,19 @@
     space — see DESIGN.md.  Oscillation witnesses are sound regardless.
 
     Exploration can run on several OCaml domains ([?domains], or the
-    [DOMAINS] environment variable): workers share a frontier and intern
-    successors through a lock-striped table keyed by {!Engine.State.digest}.
-    The reachable state set, the [pruned]/[truncated] flags, and every
-    verdict derived from the graph are identical across domain counts; only
-    the state numbering (beyond index 0) may differ. *)
+    [DOMAINS] environment variable).  The parallel explorer is adaptive:
+    it starts sequentially on the calling domain and only hands the
+    frontier to the persistent {!Engine.Pool} — per-worker work-stealing
+    deques, an atomic in-flight counter for termination, counter buffers
+    merged at join — once the frontier outgrows a spill threshold, so
+    small state spaces never pay any parallel overhead.  By default the
+    threshold is infinite on hardware without parallelism
+    ([Domain.recommended_domain_count () <= 1], where extra domains only
+    add GC barriers); pass [?spill] to override (0 engages the pool
+    immediately).  The reachable state set, the [pruned]/[truncated]
+    flags, and every verdict derived from the graph are identical across
+    domain counts; only the state numbering (beyond the warm-start
+    prefix) may differ. *)
 
 type config = { channel_bound : int; max_states : int }
 
@@ -19,7 +27,17 @@ val default_config : config
 
 val default_domains : unit -> int
 (** The [DOMAINS] environment variable when it parses as a positive
-    integer; 1 (sequential) otherwise. *)
+    integer, or {!auto_domains} when set to [auto] (case-insensitive);
+    1 (sequential) otherwise. *)
+
+val auto_domains : unit -> int
+(** [Domain.recommended_domain_count () - 1] (one core left for the rest
+    of the process), clamped to at least 1. *)
+
+val default_spill : unit -> int option
+(** The adaptive spill threshold used when [?spill] is not given: [None]
+    (never spill — explore sequentially regardless of [domains]) without
+    hardware parallelism, a small frontier bound otherwise. *)
 
 type edge = { dst : int; label : Enumerate.labeled }
 
@@ -39,6 +57,7 @@ val collapse_state : Engine.Model.t -> Engine.State.t -> Engine.State.t
 val explore :
   ?config:config ->
   ?domains:int ->
+  ?spill:int ->
   ?metrics:Engine.Metrics.t ->
   Spp.Instance.t ->
   Engine.Model.t ->
@@ -47,6 +66,7 @@ val explore :
 val explore_with :
   ?config:config ->
   ?domains:int ->
+  ?spill:int ->
   ?metrics:Engine.Metrics.t ->
   Spp.Instance.t ->
   successors:(Engine.State.t -> Enumerate.labeled list) ->
@@ -54,7 +74,8 @@ val explore_with :
   graph
 (** Generalized entry point (heterogeneous models, custom reductions);
     [collapse] must be an exact abstraction of the successor relation.
-    [successors] and [collapse] must be pure: with [domains > 1] they are
-    called concurrently from several domains.  With [metrics], interning,
-    dedup, pruning and frontier counters are recorded, plus an "explore"
-    wall-time phase. *)
+    [successors] and [collapse] must be pure: once the frontier spills
+    they are called concurrently from several domains.  With [metrics],
+    interning, dedup, pruning and frontier counters are recorded (merged
+    once at join on the parallel path), plus an "explore" wall-time
+    phase. *)

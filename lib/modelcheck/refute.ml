@@ -71,7 +71,7 @@ let fair_constant_continuation config inst model start =
         let outcome = Step.apply ~check:false inst st l.Enumerate.entry in
         let st' = outcome.Step.state in
         if
-          Channel.max_occupancy (State.channels st') <= config.Explore.channel_bound
+          State.max_occupancy st' <= config.Explore.channel_bound
           && Assignment.equal (State.assignment inst st') assignment
         then begin
           let j, fresh = intern st' in
@@ -207,7 +207,7 @@ let realizable ?(config = Explore.default_config) ?(termination = Prefix) inst m
           if !accept = None then begin
             let outcome = Step.apply ~check:false inst st l.Enumerate.entry in
             let st' = outcome.Step.state in
-            if Channel.max_occupancy (State.channels st') > config.Explore.channel_bound
+            if State.max_occupancy st' > config.Explore.channel_bound
             then pruned := true
             else begin
               let a' = assignment_of st' in

@@ -723,6 +723,58 @@ let test_trace_indices_sequential () =
     (fun i (s : Trace.step) -> Alcotest.(check int) "step index" (i + 1) s.Trace.index)
     steps
 
+(* ------------------------------------------------------------------ *)
+(* Worker pool *)
+
+let test_pool_runs_every_index () =
+  let pool = Pool.get () in
+  let hits = Array.make 6 0 in
+  Pool.run pool ~workers:6 (fun i -> hits.(i) <- hits.(i) + 1);
+  Array.iteri
+    (fun i n -> Alcotest.(check int) (Printf.sprintf "index %d ran once" i) 1 n)
+    hits
+
+exception Boom
+
+let test_pool_propagates_exception () =
+  let pool = Pool.get () in
+  let others_done = Atomic.make 0 in
+  (match Pool.run pool ~workers:4 (fun i -> if i = 2 then raise Boom else Atomic.incr others_done) with
+  | () -> Alcotest.fail "worker exception was swallowed"
+  | exception Boom -> ());
+  Alcotest.(check int) "other instances still completed" 3 (Atomic.get others_done);
+  (* The pool survives a failed run. *)
+  Pool.run pool ~workers:2 ignore
+
+let test_pool_reentrant_run_is_inline () =
+  let pool = Pool.get () in
+  let inner = Atomic.make 0 in
+  Pool.run pool ~workers:2 (fun _ ->
+      (* A job calling [run] again must not deadlock on pool mailboxes. *)
+      Pool.run pool ~workers:3 (fun _ -> Atomic.incr inner));
+  Alcotest.(check int) "both jobs ran their inner instances" 6 (Atomic.get inner)
+
+let test_domains_auto_env () =
+  let saved = Sys.getenv_opt "DOMAINS" in
+  let restore () =
+    match saved with
+    | Some v -> Unix.putenv "DOMAINS" v
+    | None -> Unix.putenv "DOMAINS" ""
+  in
+  Fun.protect ~finally:restore (fun () ->
+      Unix.putenv "DOMAINS" "auto";
+      Alcotest.(check int) "DOMAINS=auto" (Modelcheck.Explore.auto_domains ())
+        (Modelcheck.Explore.default_domains ());
+      Unix.putenv "DOMAINS" " AUTO ";
+      Alcotest.(check int) "DOMAINS is trimmed, case-insensitive"
+        (Modelcheck.Explore.auto_domains ())
+        (Modelcheck.Explore.default_domains ());
+      Unix.putenv "DOMAINS" "3";
+      Alcotest.(check int) "DOMAINS=3" 3 (Modelcheck.Explore.default_domains ());
+      Unix.putenv "DOMAINS" "bogus";
+      Alcotest.(check int) "unparseable falls back to 1" 1
+        (Modelcheck.Explore.default_domains ()))
+
 let () =
   Alcotest.run "engine"
     [
@@ -800,5 +852,13 @@ let () =
           Alcotest.test_case "unfair cycle detected" `Quick test_unfair_cycle_detected;
           Alcotest.test_case "empty cycle rejected" `Quick test_empty_cycle_rejected;
           Alcotest.test_case "trace indices are 1..n" `Quick test_trace_indices_sequential;
+        ] );
+      ( "pool",
+        [
+          Alcotest.test_case "runs every index" `Quick test_pool_runs_every_index;
+          Alcotest.test_case "propagates exceptions" `Quick test_pool_propagates_exception;
+          Alcotest.test_case "re-entrant run is inline" `Quick
+            test_pool_reentrant_run_is_inline;
+          Alcotest.test_case "DOMAINS=auto parsing" `Quick test_domains_auto_env;
         ] );
     ]
