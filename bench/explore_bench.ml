@@ -59,33 +59,44 @@ type run = {
   pruned : bool;
   truncated : bool;
   verdict : string;
+  pool_engaged : bool;
+      (* a [domains > 1] setting actually handed work to the pool; false
+         means the adaptive cutover (or 1-core default) degraded the run to
+         the sequential path, so its wall time measures sequential code *)
 }
 
 (* One timed exploration.  With [repeat > 1] the case runs that many times
    and the fastest wall time is kept (fresh metrics each time, so counters
    never accumulate across repetitions): min-of-N measures the code, not
-   the scheduler's mood, which matters once speedups are gated. *)
-let run_one c ~domains ~repeat =
+   the scheduler's mood, which matters once speedups are gated.  Pool
+   engagement is detected per repetition from the persistent pool's [runs]
+   counter: a parallel setting whose exploration never bumped it silently
+   took the sequential path (e.g. [default_spill] is infinite on 1-core
+   hosts), and reporting its time as a parallel measurement would be a
+   lie — see [speedup_of]. *)
+let run_one c ~domains ~spill ~repeat =
   let once () =
     let metrics = Metrics.create () in
+    let pool_runs_before = (Pool.stats (Pool.get ())).Pool.runs in
     let graph =
-      Modelcheck.Explore.explore ~config:c.config ~domains ~metrics c.inst c.m
+      Modelcheck.Explore.explore ~config:c.config ~domains ?spill ~metrics c.inst c.m
     in
+    let engaged = (Pool.stats (Pool.get ())).Pool.runs > pool_runs_before in
     let verdict =
       Metrics.timed ~m:metrics "analyze" (fun () ->
           Modelcheck.Oscillation.verdict_name
             (Modelcheck.Oscillation.analyze_graph c.inst graph))
     in
-    (metrics, graph, verdict)
+    (metrics, graph, verdict, engaged)
   in
   let best = ref (once ()) in
   for _ = 2 to max 1 repeat do
-    let ((m, _, _) as r) = once () in
-    let best_m, _, _ = !best in
+    let ((m, _, _, _) as r) = once () in
+    let best_m, _, _, _ = !best in
     if Metrics.phase_time m "explore" < Metrics.phase_time best_m "explore" then
       best := r
   done;
-  let metrics, graph, verdict = !best in
+  let metrics, graph, verdict, pool_engaged = !best in
   {
     domains;
     states = Array.length graph.Modelcheck.Explore.states;
@@ -97,6 +108,7 @@ let run_one c ~domains ~repeat =
     pruned = graph.Modelcheck.Explore.pruned;
     truncated = graph.Modelcheck.Explore.truncated;
     verdict;
+    pool_engaged;
   }
 
 let json_of_run r =
@@ -112,6 +124,7 @@ let json_of_run r =
       ("pruned", Json.Bool r.pruned);
       ("truncated", Json.Bool r.truncated);
       ("verdict", Json.Str r.verdict);
+      ("pool_engaged", Json.Bool r.pool_engaged);
     ]
 
 type case_result = {
@@ -120,8 +133,8 @@ type case_result = {
   agree : bool; (* verdicts and state counts identical across domain counts *)
 }
 
-let run_case ~domains_list ~repeat c =
-  let runs = List.map (fun d -> run_one c ~domains:d ~repeat) domains_list in
+let run_case ~domains_list ~spill ~repeat c =
+  let runs = List.map (fun d -> run_one c ~domains:d ~spill ~repeat) domains_list in
   let agree =
     match runs with
     | [] -> true
@@ -132,13 +145,19 @@ let run_case ~domains_list ~repeat c =
   in
   { c; runs; agree }
 
-(* Sequential wall / parallel wall for the case, when both settings ran. *)
+(* Sequential wall / parallel wall for the case — but only when the
+   parallel setting actually engaged the pool.  If it silently degraded to
+   the sequential path (1-core default spill, or a frontier that never
+   outgrew the threshold) the ratio would be sequential-vs-sequential
+   noise dressed up as a parallel speedup, so no [speedup] is reported at
+   all and a `--min-speedup` gate fails the case loudly instead. *)
 let speedup_of cr =
   match
     ( List.find_opt (fun r -> r.domains = 1) cr.runs,
       List.find_opt (fun r -> r.domains > 1) cr.runs )
   with
-  | Some seq, Some par when par.wall_s > 0. -> Some (seq.wall_s /. par.wall_s)
+  | Some seq, Some par when par.pool_engaged && par.wall_s > 0. ->
+    Some (seq.wall_s /. par.wall_s)
   | _ -> None
 
 let json_of_case_result cr =
@@ -180,12 +199,12 @@ let vm_hwm_kb () =
     |> Option.value ~default:0
   | exception Sys_error _ -> 0
 
-let run_all ~deep ~domains ~repeat =
+let run_all ~deep ~domains ~spill ~repeat =
   let domains_list = [ 1; domains ] in
   let cases = fast_cases () @ (if deep then deep_cases () else []) in
-  List.map (run_case ~domains_list ~repeat) cases
+  List.map (run_case ~domains_list ~spill ~repeat) cases
 
-let to_json ?baseline ~deep ~domains ~repeat results =
+let to_json ?baseline ~deep ~domains ~spill ~repeat results =
   let pool_stats =
     let s = Pool.stats (Pool.get ()) in
     Json.Obj
@@ -195,10 +214,12 @@ let to_json ?baseline ~deep ~domains ~repeat results =
         ("runs", Json.Num (float_of_int s.Pool.runs));
       ]
   in
+  (* The spill threshold actually in effect for the parallel runs: the
+     forced --spill value when given, else the hardware-aware default. *)
   let spill_threshold =
-    match Modelcheck.Explore.default_spill () with
-    | None -> Json.Null
-    | Some s -> Json.Num (float_of_int s)
+    match (spill, Modelcheck.Explore.default_spill ()) with
+    | Some s, _ | None, Some s -> Json.Num (float_of_int s)
+    | None, None -> Json.Null
   in
   Json.Obj
     ([
@@ -224,10 +245,10 @@ let write_file path contents =
    [baseline] embeds a previously emitted artifact (any schema version)
    under a "baseline" key, recording the before/after perf comparison in
    the artifact itself. *)
-let emit ?(path = "BENCH_explore.json") ?baseline ?(repeat = 1) ?min_speedup ~deep
-    ~domains () =
-  let results = run_all ~deep ~domains ~repeat in
-  let text = Json.to_string (to_json ?baseline ~deep ~domains ~repeat results) in
+let emit ?(path = "BENCH_explore.json") ?baseline ?(repeat = 1) ?min_speedup ?spill
+    ~deep ~domains () =
+  let results = run_all ~deep ~domains ~spill ~repeat in
+  let text = Json.to_string (to_json ?baseline ~deep ~domains ~spill ~repeat results) in
   write_file path text;
   let parse_failure =
     match Json.parse text with
@@ -265,7 +286,9 @@ let emit ?(path = "BENCH_explore.json") ?baseline ?(repeat = 1) ?min_speedup ~de
                    cr.c.instance_name (Model.to_string cr.c.m) s floor)
             | None ->
               Some
-                (Printf.sprintf "%s/%s: no speedup measured (--min-speedup %.3f)"
+                (Printf.sprintf
+                   "%s/%s: no parallel speedup measured — the domains>1 run \
+                    never engaged the pool (--min-speedup %.3f)"
                    cr.c.instance_name (Model.to_string cr.c.m) floor))
         results
   in
@@ -276,9 +299,11 @@ let pp_summary ppf results =
     (fun cr ->
       List.iter
         (fun r ->
-          Fmt.pf ppf "  %-9s %-4s domains=%d states=%-7d %8.0f states/s (%.2fs) %s@."
+          Fmt.pf ppf "  %-9s %-4s domains=%d states=%-7d %8.0f states/s (%.2fs) %s%s@."
             cr.c.instance_name (Model.to_string cr.c.m) r.domains r.states
-            r.states_per_sec r.wall_s r.verdict)
+            r.states_per_sec r.wall_s r.verdict
+            (if r.domains > 1 && not r.pool_engaged then " [degraded to sequential]"
+             else ""))
         cr.runs)
     results
 
@@ -289,7 +314,7 @@ let pp_summary ppf results =
 
 let usage =
   "usage: bench_explore [-o FILE] [--domains N|auto] [--repeat N] [--deep|--fast]\n\
-  \                    [--baseline FILE] [--min-speedup X]\n\
+  \                    [--baseline FILE] [--min-speedup X] [--spill N]\n\
    \  -o FILE          artifact path (default BENCH_explore.json)\n\
    \  --domains N      parallel domain count to compare against domains=1 (N >= 2,\n\
    \                   or \"auto\" for recommended_domain_count - 1, at least 2)\n\
@@ -298,7 +323,10 @@ let usage =
    \                   also controlled by the DEEP env var: DEEP=0 disables)\n\
    \  --fast           fast subset only (same as DEEP=0)\n\
    \  --baseline FILE  embed a previously emitted artifact under \"baseline\"\n\
-   \  --min-speedup X  exit 1 if any deep case's speedup falls below X\n"
+   \  --min-speedup X  exit 1 if any deep case's speedup falls below X\n\
+   \  --spill N        force the work-stealing cutover threshold (frontier size);\n\
+   \                   overrides the hardware-aware default, so the pool engages\n\
+   \                   even on hosts where that default would stay sequential\n"
 
 let main () =
   let path = ref "BENCH_explore.json" in
@@ -306,6 +334,7 @@ let main () =
   let repeat = ref 1 in
   let baseline_path = ref None in
   let min_speedup = ref None in
+  let spill = ref None in
   (* DEEP env sets the default; --deep/--fast flags override. *)
   let deep = ref (deep_env ()) in
   let bad msg =
@@ -345,6 +374,11 @@ let main () =
       | Some f when f > 0. -> min_speedup := Some f
       | _ -> bad "--min-speedup expects a positive float");
       parse_args rest
+    | "--spill" :: n :: rest ->
+      (match int_of_string_opt n with
+      | Some s when s >= 0 -> spill := Some s
+      | _ -> bad "--spill expects an int >= 0");
+      parse_args rest
     | arg :: _ -> bad (Printf.sprintf "unknown argument %s" arg)
   in
   parse_args (List.tl (Array.to_list Sys.argv));
@@ -360,8 +394,8 @@ let main () =
       | exception Sys_error e -> bad e)
   in
   let results, failures =
-    emit ~path:!path ?baseline ~repeat:!repeat ?min_speedup:!min_speedup ~deep:!deep
-      ~domains:!domains ()
+    emit ~path:!path ?baseline ~repeat:!repeat ?min_speedup:!min_speedup ?spill:!spill
+      ~deep:!deep ~domains:!domains ()
   in
   Format.printf "explore bench (domains 1 vs %d):@." !domains;
   pp_summary Format.std_formatter results;

@@ -76,14 +76,17 @@ let spawn_worker t =
   w
 
 (* Hand [job] to [w], waiting (briefly) if the worker is still finishing a
-   job from a concurrent run. *)
+   job from a concurrent run.  [wcond] multiplexes two predicates (worker
+   waiting for a job, other [assign] callers waiting for the slot), so the
+   wakeup must be a broadcast: a signal could land on a waiting assigner
+   instead of the parked worker, leaving the job assigned but never run. *)
 let assign w job =
   Mutex.lock w.wmu;
   while w.job <> None do
     Condition.wait w.wcond w.wmu
   done;
   w.job <- Some job;
-  Condition.signal w.wcond;
+  Condition.broadcast w.wcond;
   Mutex.unlock w.wmu
 
 let run t ~workers f =

@@ -373,6 +373,21 @@ let explore_ws ~config ~domains ~spill ?metrics inst ~successors ~collapse =
         Deque.push_back deques.(!ix mod k) item;
         incr ix)
       queue;
+    (* User-supplied code ([successors]/[collapse]/Step.apply) may raise
+       inside any worker.  A raise would skip that item's [in_flight]
+       decrement, so termination-by-counter alone would leave every other
+       worker spinning forever; instead the first error is recorded here,
+       [abort] tells all workers to bail out of their loops, and the error
+       is re-raised on the calling domain after the pool joins. *)
+    let abort = Atomic.make false in
+    let err_mu = Mutex.create () in
+    let err = ref None in
+    let record_error e bt =
+      Mutex.lock err_mu;
+      if !err = None then err := Some (e, bt);
+      Mutex.unlock err_mu;
+      Atomic.set abort true
+    in
     let worker wid =
       let my = deques.(wid) in
       let stats = wstats.(wid) in
@@ -381,19 +396,22 @@ let explore_ws ~config ~domains ~spill ?metrics inst ~successors ~collapse =
         (* Fresh successors are counted into [in_flight] before the parent
            is discharged, so the counter can only hit zero when no state is
            queued or being expanded anywhere. *)
-        let fresh = ref [] and n_fresh = ref 0 in
-        let row =
-          expand stats item ~push:(fun x ->
-              fresh := x :: !fresh;
-              incr n_fresh)
-        in
-        rows := row :: !rows;
-        if !n_fresh > 0 then begin
-          let f = Atomic.fetch_and_add in_flight !n_fresh + !n_fresh in
-          if f > stats.s_peak then stats.s_peak <- f;
-          List.iter (Deque.push_back my) !fresh
-        end;
-        ignore (Atomic.fetch_and_add in_flight (-1))
+        match
+          let fresh = ref [] and n_fresh = ref 0 in
+          let row =
+            expand stats item ~push:(fun x ->
+                fresh := x :: !fresh;
+                incr n_fresh)
+          in
+          rows := row :: !rows;
+          if !n_fresh > 0 then begin
+            let f = Atomic.fetch_and_add in_flight !n_fresh + !n_fresh in
+            if f > stats.s_peak then stats.s_peak <- f;
+            List.iter (Deque.push_back my) !fresh
+          end
+        with
+        | () -> ignore (Atomic.fetch_and_add in_flight (-1))
+        | exception e -> record_error e (Printexc.get_raw_backtrace ())
       in
       let try_steal () =
         let rec go off =
@@ -406,30 +424,35 @@ let explore_ws ~config ~domains ~spill ?metrics inst ~successors ~collapse =
         go 1
       in
       let rec loop idle =
-        match Deque.pop_back my with
-        | Some item ->
-          process item;
-          loop 0
-        | None ->
-          if Atomic.get in_flight = 0 then ()
-          else begin
-            (match try_steal () with
-            | first :: rest ->
-              List.iter (Deque.push_back my) rest;
-              process first;
-              loop 0
-            | [] ->
-              (* Nothing stealable but expansions are still in flight:
-                 spin briefly, then yield the core so the expanding worker
-                 can run (essential when domains outnumber cores). *)
-              if idle < 64 then Domain.cpu_relax () else Unix.sleepf 5e-5;
-              loop (min (idle + 1) 1000))
-          end
+        if Atomic.get abort then ()
+        else
+          match Deque.pop_back my with
+          | Some item ->
+            process item;
+            loop 0
+          | None ->
+            if Atomic.get in_flight = 0 then ()
+            else begin
+              (match try_steal () with
+              | first :: rest ->
+                List.iter (Deque.push_back my) rest;
+                process first;
+                loop 0
+              | [] ->
+                (* Nothing stealable but expansions are still in flight:
+                   spin briefly, then yield the core so the expanding worker
+                   can run (essential when domains outnumber cores). *)
+                if idle < 64 then Domain.cpu_relax () else Unix.sleepf 5e-5;
+                loop (min (idle + 1) 1000))
+            end
       in
       loop 0;
       rows_of.(wid) <- !rows
     in
-    Pool.run (Pool.get ()) ~workers:k worker
+    Pool.run (Pool.get ()) ~workers:k worker;
+    match !err with
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | None -> ()
   end;
   (* Merge: per-worker buffers into the shared metrics, rows into the
      adjacency, shard tables into the state array. *)

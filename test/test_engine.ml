@@ -746,6 +746,20 @@ let test_pool_propagates_exception () =
   (* The pool survives a failed run. *)
   Pool.run pool ~workers:2 ignore
 
+let test_pool_concurrent_runs () =
+  (* Three domains race [Pool.run] on the same pool (and thus the same
+     parked workers).  The assign-side wakeup must be a broadcast: with a
+     single signal, a waiting assigner can consume the wakeup meant for
+     the parked worker and both runs deadlock with the job slot full. *)
+  let pool = Pool.get () in
+  let total = Atomic.make 0 in
+  let one_run () = Pool.run pool ~workers:3 (fun _ -> Atomic.incr total) in
+  let d1 = Domain.spawn one_run and d2 = Domain.spawn one_run in
+  one_run ();
+  Domain.join d1;
+  Domain.join d2;
+  Alcotest.(check int) "every instance of every run executed" 9 (Atomic.get total)
+
 let test_pool_reentrant_run_is_inline () =
   let pool = Pool.get () in
   let inner = Atomic.make 0 in
@@ -857,6 +871,7 @@ let () =
         [
           Alcotest.test_case "runs every index" `Quick test_pool_runs_every_index;
           Alcotest.test_case "propagates exceptions" `Quick test_pool_propagates_exception;
+          Alcotest.test_case "concurrent runs are safe" `Quick test_pool_concurrent_runs;
           Alcotest.test_case "re-entrant run is inline" `Quick
             test_pool_reentrant_run_is_inline;
           Alcotest.test_case "DOMAINS=auto parsing" `Quick test_domains_auto_env;

@@ -359,6 +359,31 @@ let test_pool_reuse () =
     s2.Pool.spawned_total;
   Alcotest.(check bool) "runs grew" true (s2.Pool.runs > s1.Pool.runs)
 
+exception Boom
+
+let test_ws_exception_propagates () =
+  (* An exception raised by user-supplied [successors] inside a pool worker
+     must propagate out of [explore_with], not hang the other workers on
+     the in-flight counter (the failed item's decrement is skipped; the
+     abort flag is what unblocks everyone). *)
+  let inst = Gadgets.disagree in
+  let m = model "UMS" in
+  let base = Enumerate.successors inst m in
+  let calls = Atomic.make 0 in
+  let successors st =
+    if Atomic.fetch_and_add calls 1 = 3 then raise Boom;
+    base st
+  in
+  (match
+     Explore.explore_with ~domains:3 ~spill:0 inst ~successors
+       ~collapse:(fun st -> st)
+   with
+  | _ -> Alcotest.fail "exception in successors was swallowed"
+  | exception Boom -> ());
+  (* The pool survives the aborted exploration. *)
+  let g = Explore.explore ~domains:3 ~spill:0 inst m in
+  Alcotest.(check int) "pool still explores" 39 (Array.length g.Explore.states)
+
 
 (* ------------------------------------------------------------------ *)
 (* Cross-validation between independent components *)
@@ -468,5 +493,7 @@ let () =
         ] );
       ( "parallel",
         Alcotest.test_case "pool reused across explorations" `Quick test_pool_reuse
+        :: Alcotest.test_case "worker exception propagates, no hang" `Quick
+             test_ws_exception_propagates
         :: List.map QCheck_alcotest.to_alcotest [ prop_parallel_matches_sequential ] );
     ]
