@@ -104,6 +104,9 @@ let () =
   let replay = ref "" in
   let samples = ref "" in
   let quiet = ref false in
+  let checkpoint = ref "" in
+  let checkpoint_every = ref 1 in
+  let resume = ref false in
   let spec =
     [
       ( "--seeds",
@@ -131,6 +134,16 @@ let () =
         Arg.Set_string samples,
         "DIR regenerate the committed sample corpus entries and exit" );
       ("--quiet", Arg.Set quiet, " suppress per-trial progress lines");
+      ( "--checkpoint",
+        Arg.Set_string checkpoint,
+        "PATH journal every finished trial to PATH, so a killed sweep can resume" );
+      ( "--checkpoint-every",
+        Arg.Set_int checkpoint_every,
+        "N flush the journal to disk every N trials (default 1)" );
+      ( "--resume",
+        Arg.Set resume,
+        " skip trials already recorded in the --checkpoint journal (same \
+         seeds/budget only)" );
     ]
   in
   Arg.parse spec
@@ -146,12 +159,23 @@ let () =
         Fmt.epr "conformance: unknown budget %S (smoke|default|deep)@." !budget;
         exit 2
     in
+    if !resume && !checkpoint = "" then begin
+      Fmt.epr "conformance: --resume requires --checkpoint PATH@.";
+      exit 2
+    end;
+    if !checkpoint_every < 1 then begin
+      Fmt.epr "conformance: --checkpoint-every expects an int >= 1@.";
+      exit 2
+    end;
     let cfg =
       {
         Conformance.Fuzz.seeds = !seeds;
         budget;
         domains = !domains;
         emit_dir = (if !emit = "" then None else Some !emit);
+        journal = (if !checkpoint = "" then None else Some !checkpoint);
+        journal_every = !checkpoint_every;
+        resume = !resume;
         log = (if !quiet then ignore else fun s -> Fmt.epr "%s@." s);
       }
     in

@@ -74,12 +74,32 @@ type run = {
    took the sequential path (e.g. [default_spill] is infinite on 1-core
    hosts), and reporting its time as a parallel measurement would be a
    lie — see [speedup_of]. *)
-let run_one c ~domains ~spill ~repeat =
+let run_one ?ckpt c ~domains ~spill ~repeat =
+  let checkpoint, resume =
+    match ckpt with
+    | None -> (None, None)
+    | Some (path, every, resume) ->
+      let snap =
+        if resume && Sys.file_exists path then
+          match Snapshot.load ~path c.inst with
+          | Ok s -> Some s
+          | Error e ->
+            (* An existing but unloadable checkpoint is a real finding
+               (truncation cannot happen — writes are atomic — so this is
+               bit-rot or a foreign file); resuming from scratch would
+               silently hide it. *)
+            prerr_endline ("bench_explore: " ^ Snapshot.error_to_string e);
+            exit 2
+        else None
+      in
+      (Some { Modelcheck.Explore.path; every }, snap)
+  in
   let once () =
     let metrics = Metrics.create () in
     let pool_runs_before = (Pool.stats (Pool.get ())).Pool.runs in
     let graph =
-      Modelcheck.Explore.explore ~config:c.config ~domains ?spill ~metrics c.inst c.m
+      Modelcheck.Explore.explore ~config:c.config ~domains ?spill ~metrics ?checkpoint
+        ?resume c.inst c.m
     in
     let engaged = (Pool.stats (Pool.get ())).Pool.runs > pool_runs_before in
     let verdict =
@@ -133,8 +153,8 @@ type case_result = {
   agree : bool; (* verdicts and state counts identical across domain counts *)
 }
 
-let run_case ~domains_list ~spill ~repeat c =
-  let runs = List.map (fun d -> run_one c ~domains:d ~spill ~repeat) domains_list in
+let run_case ?ckpt ~domains_list ~spill ~repeat c =
+  let runs = List.map (fun d -> run_one ?ckpt c ~domains:d ~spill ~repeat) domains_list in
   let agree =
     match runs with
     | [] -> true
@@ -204,6 +224,26 @@ let run_all ~deep ~domains ~spill ~repeat =
   let cases = fast_cases () @ (if deep then deep_cases () else []) in
   List.map (run_case ~domains_list ~spill ~repeat) cases
 
+(* Checkpointed variant: exploration order must be deterministic for a
+   resumed run to be bit-identical, so only the sequential setting runs
+   (one checkpoint file per case, derived from [base]).  A case's file is
+   deleted once it completes — a file left behind always marks unfinished
+   work, and [--resume] after a fully successful run starts fresh. *)
+let ckpt_file base c =
+  Printf.sprintf "%s.%s-%s" base c.instance_name (Model.to_string c.m)
+
+let run_all_checkpointed ~deep ~spill ~base ~every ~resume =
+  let cases = fast_cases () @ (if deep then deep_cases () else []) in
+  List.map
+    (fun c ->
+      let file = ckpt_file base c in
+      let cr =
+        run_case ~ckpt:(file, every, resume) ~domains_list:[ 1 ] ~spill ~repeat:1 c
+      in
+      if Sys.file_exists file then Sys.remove file;
+      cr)
+    cases
+
 let to_json ?baseline ~deep ~domains ~spill ~repeat results =
   let pool_stats =
     let s = Pool.stats (Pool.get ()) in
@@ -236,9 +276,74 @@ let to_json ?baseline ~deep ~domains ~spill ~repeat results =
      ]
     @ match baseline with None -> [] | Some b -> [ ("baseline", b) ])
 
-let write_file path contents =
-  let oc = open_out path in
-  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc contents)
+(* Atomic, like every committed artifact: a kill mid-emit leaves the old
+   BENCH_explore.json intact instead of a truncated one. *)
+let write_file path contents = Snapshot.write_atomic path contents
+
+(* ------------------------------------------------------------------ *)
+(* Artifact comparison for the kill-and-resume CI gate: two artifacts are
+   equivalent when they differ only in measurements a resumed process
+   cannot reproduce — wall times, rates, memory peaks, pool/arena
+   occupancy.  Everything else (states, edges, counters, verdicts, flags)
+   must be byte-for-byte identical. *)
+
+let volatile_keys =
+  [ "wall_s"; "states_per_sec"; "speedup"; "vm_hwm_kb"; "arena_paths"; "pool" ]
+
+let rec scrub = function
+  | Json.Obj fields ->
+    Json.Obj
+      (List.map
+         (fun (k, v) -> (k, if List.mem k volatile_keys then Json.Null else scrub v))
+         fields)
+  | Json.List l -> Json.List (List.map scrub l)
+  | v -> v
+
+(* The path of the first structural difference, for an actionable message. *)
+let rec first_diff path a b =
+  match (a, b) with
+  | Json.Obj fa, Json.Obj fb ->
+    if List.map fst fa <> List.map fst fb then Some (path ^ ": field sets differ")
+    else
+      List.fold_left2
+        (fun acc (k, va) (_, vb) ->
+          match acc with
+          | Some _ -> acc
+          | None -> first_diff (path ^ "." ^ k) va vb)
+        None fa fb
+  | Json.List la, Json.List lb ->
+    if List.length la <> List.length lb then Some (path ^ ": list lengths differ")
+    else
+      List.fold_left2
+        (fun (i, acc) va vb ->
+          match acc with
+          | Some _ -> (i + 1, acc)
+          | None -> (i + 1, first_diff (Printf.sprintf "%s[%d]" path i) va vb))
+        (0, None) la lb
+      |> snd
+  | a, b -> if a = b then None else Some path
+
+let compare_ignoring_timings path_a path_b =
+  let parse p =
+    match In_channel.with_open_bin p In_channel.input_all with
+    | exception Sys_error e ->
+      prerr_endline ("bench_explore: " ^ e);
+      exit 2
+    | text -> (
+      match Json.parse text with
+      | Ok v -> scrub v
+      | Error e ->
+        Printf.eprintf "bench_explore: %s does not parse: %s\n" p e;
+        exit 2)
+  in
+  let a = parse path_a and b = parse path_b in
+  match first_diff "$" a b with
+  | None ->
+    Printf.printf "%s and %s are identical modulo timings\n" path_a path_b;
+    exit 0
+  | Some where ->
+    Printf.eprintf "bench_explore: %s and %s differ at %s\n" path_a path_b where;
+    exit 1
 
 (* Runs the suite, writes [path], validates that the artifact re-parses and
    that every case agreed across domain counts.  Returns the failures.
@@ -246,8 +351,17 @@ let write_file path contents =
    under a "baseline" key, recording the before/after perf comparison in
    the artifact itself. *)
 let emit ?(path = "BENCH_explore.json") ?baseline ?(repeat = 1) ?min_speedup ?spill
-    ~deep ~domains () =
-  let results = run_all ~deep ~domains ~spill ~repeat in
+    ?checkpoint ?(resume = false) ~deep ~domains () =
+  (* Checkpoint mode is sequential-only (resume is defined for the
+     deterministic order), so the artifact records domains=1 and a single
+     run per case. *)
+  let domains = if checkpoint = None then domains else 1 in
+  let repeat = if checkpoint = None then repeat else 1 in
+  let results =
+    match checkpoint with
+    | None -> run_all ~deep ~domains ~spill ~repeat
+    | Some (base, every) -> run_all_checkpointed ~deep ~spill ~base ~every ~resume
+  in
   let text = Json.to_string (to_json ?baseline ~deep ~domains ~spill ~repeat results) in
   write_file path text;
   let parse_failure =
@@ -315,6 +429,8 @@ let pp_summary ppf results =
 let usage =
   "usage: bench_explore [-o FILE] [--domains N|auto] [--repeat N] [--deep|--fast]\n\
   \                    [--baseline FILE] [--min-speedup X] [--spill N]\n\
+  \                    [--checkpoint PATH [--checkpoint-every N] [--resume]]\n\
+  \                    [--compare-ignoring-timings A B]\n\
    \  -o FILE          artifact path (default BENCH_explore.json)\n\
    \  --domains N      parallel domain count to compare against domains=1 (N >= 2,\n\
    \                   or \"auto\" for recommended_domain_count - 1, at least 2)\n\
@@ -326,7 +442,13 @@ let usage =
    \  --min-speedup X  exit 1 if any deep case's speedup falls below X\n\
    \  --spill N        force the work-stealing cutover threshold (frontier size);\n\
    \                   overrides the hardware-aware default, so the pool engages\n\
-   \                   even on hosts where that default would stay sequential\n"
+   \                   even on hosts where that default would stay sequential\n\
+   \  --checkpoint PATH  write crash-safe per-case checkpoints to PATH.<case>\n\
+   \                   (sequential-only; files are deleted as cases complete)\n\
+   \  --checkpoint-every N  expanded states between checkpoints (default 2000)\n\
+   \  --resume         resume each case from its checkpoint file if present\n\
+   \  --compare-ignoring-timings A B  exit 0 iff artifacts A and B are identical\n\
+   \                   after blanking wall times, rates, memory and pool stats\n"
 
 let main () =
   let path = ref "BENCH_explore.json" in
@@ -335,6 +457,9 @@ let main () =
   let baseline_path = ref None in
   let min_speedup = ref None in
   let spill = ref None in
+  let checkpoint = ref None in
+  let checkpoint_every = ref 2000 in
+  let resume = ref false in
   (* DEEP env sets the default; --deep/--fast flags override. *)
   let deep = ref (deep_env ()) in
   let bad msg =
@@ -379,9 +504,26 @@ let main () =
       | Some s when s >= 0 -> spill := Some s
       | _ -> bad "--spill expects an int >= 0");
       parse_args rest
+    | "--checkpoint" :: p :: rest ->
+      checkpoint := Some p;
+      parse_args rest
+    | "--checkpoint-every" :: n :: rest ->
+      (match int_of_string_opt n with
+      | Some e when e >= 1 -> checkpoint_every := e
+      | _ -> bad "--checkpoint-every expects an int >= 1");
+      parse_args rest
+    | "--resume" :: rest ->
+      resume := true;
+      parse_args rest
+    | [ "--compare-ignoring-timings"; a; b ] -> compare_ignoring_timings a b
+    | "--compare-ignoring-timings" :: _ ->
+      bad "--compare-ignoring-timings expects exactly two artifact paths"
     | arg :: _ -> bad (Printf.sprintf "unknown argument %s" arg)
   in
   parse_args (List.tl (Array.to_list Sys.argv));
+  if !resume && !checkpoint = None then bad "--resume requires --checkpoint PATH";
+  if !checkpoint <> None && !min_speedup <> None then
+    bad "--min-speedup needs parallel runs; incompatible with --checkpoint";
   let baseline =
     match !baseline_path with
     | None -> None
@@ -393,11 +535,13 @@ let main () =
         | Error e -> bad (Printf.sprintf "baseline %s does not parse: %s" p e))
       | exception Sys_error e -> bad e)
   in
+  let checkpoint = Option.map (fun p -> (p, !checkpoint_every)) !checkpoint in
   let results, failures =
     emit ~path:!path ?baseline ~repeat:!repeat ?min_speedup:!min_speedup ?spill:!spill
-      ~deep:!deep ~domains:!domains ()
+      ?checkpoint ~resume:!resume ~deep:!deep ~domains:!domains ()
   in
-  Format.printf "explore bench (domains 1 vs %d):@." !domains;
+  if checkpoint = None then Format.printf "explore bench (domains 1 vs %d):@." !domains
+  else Format.printf "explore bench (sequential, checkpointed):@.";
   pp_summary Format.std_formatter results;
   Format.printf "wrote %s@." !path;
   match failures with

@@ -34,7 +34,7 @@ let fig_1_2 () =
   section "FIG 1-2: transitivity rules (Sec. 3.4)";
   let base_positives = List.length Facts.positives in
   let base_negatives = List.length Facts.negatives in
-  let closure = Closure.derive () in
+  let closure = Closure.derive_exn () in
   let proven, disproven =
     List.fold_left
       (fun (p, d) (a, b, (c : Closure.cell)) ->
@@ -463,7 +463,7 @@ let micro_benchmarks () =
              let sched = Scheduler.random fig6 (model "RMS") ~seed:1 in
              ignore (Executor.run ~max_steps:100 fig6 sched)));
       Test.make ~name:"closure: derive Figures 3-4"
-        (Staged.stage (fun () -> ignore (Closure.derive ())));
+        (Staged.stage (fun () -> ignore (Closure.derive_exn ())));
       Test.make ~name:"transform: RMA->R1O on 30-step FIG6 schedule"
         (Staged.stage
            (let entries = Scheduler.prefix 30 (Scheduler.random fig6 (model "RMA") ~seed:2) in

@@ -1,5 +1,5 @@
 let () =
-  let closure = Realization.Closure.derive () in
+  let closure = Realization.Closure.derive_exn () in
   print_endline "=== Figure 3 (reliable realizers) ===";
   print_string (Realization.Closure.render closure ~realizers:Engine.Model.reliable);
   print_endline "=== Figure 4 (unreliable realizers) ===";

@@ -41,7 +41,7 @@ let () =
           Model.all));
 
   Format.printf "@.== Derived realization matrices ==@.";
-  let closure = Closure.derive () in
+  let closure = Closure.derive_exn () in
   Format.printf "Figure 3 (reliable realizers):@.%s@."
     (Closure.render closure ~realizers:Model.reliable);
   Format.printf "Figure 4 (unreliable realizers):@.%s@."

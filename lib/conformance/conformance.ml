@@ -10,6 +10,7 @@
 module Trial = Trial
 module Shrink = Shrink
 module Corpus = Corpus
+module Journal = Journal
 module Fuzz = Fuzz
 
 let replay = Corpus.replay

@@ -36,6 +36,18 @@ let rec map_m f = function
     let* ys = map_m f rest in
     Ok (y :: ys)
 
+(* Indexed variant threading an element context ("entries[3]: ...") through
+   errors, so a bad artifact is identifiable from the message alone. *)
+let mapi_m ctx f l =
+  let rec go i = function
+    | [] -> Ok []
+    | x :: rest ->
+      let* y = Result.map_error (fun e -> Fmt.str "%s[%d]: %s" ctx i e) (f x) in
+      let* ys = go (i + 1) rest in
+      Ok (y :: ys)
+  in
+  go 0 l
+
 let field name j =
   match Json.member name j with
   | Some v -> Ok v
@@ -122,7 +134,7 @@ let instance_of_json j =
   let* dest = node dest_name in
   let* edges_j = list_field "edges" j in
   let* edges =
-    map_m
+    mapi_m "edges"
       (function
         | Json.List [ a; b ] ->
           let* a = as_str a in
@@ -130,18 +142,18 @@ let instance_of_json j =
           let* a = node a in
           let* b = node b in
           Ok (a, b)
-        | _ -> Error "edge: expected a two-element list")
+        | _ -> Error "expected a two-element list")
       edges_j
   in
   let* ranked_j = list_field "ranked" j in
   let* ranked =
-    map_m
+    mapi_m "ranked"
       (fun rj ->
         let* v_name = str_field "node" rj in
         let* v = node v_name in
         let* paths_j = list_field "paths" rj in
         let* paths =
-          map_m
+          mapi_m "paths"
             (fun pj ->
               let* nodes_j = list_field "path" pj in
               let* nodes = map_m as_str nodes_j in
@@ -187,14 +199,16 @@ let entries_to_json inst entries =
            ])
        entries)
 
-let entries_of_json inst j =
+let entries_of_json ?(ctx = "entries") inst j =
   let node name =
     match Spp.Instance.find_node inst name with
     | v -> Ok v
     | exception Not_found -> Error (Fmt.str "unknown node %S" name)
   in
-  let* entries_j = match j with Json.List l -> Ok l | _ -> Error "entries: expected a list" in
-  map_m
+  let* entries_j =
+    match j with Json.List l -> Ok l | _ -> Error (ctx ^ ": expected a list")
+  in
+  mapi_m ctx
     (fun ej ->
       let* active_j = list_field "active" ej in
       let* active = map_m as_str active_j in
@@ -343,7 +357,7 @@ let of_json j =
       let* inst_j = field "instance" j in
       let* inst = instance_of_json inst_j in
       let* witness_j = field "witness" j in
-      let* witness = entries_of_json inst witness_j in
+      let* witness = entries_of_json ~ctx:"witness" inst witness_j in
       let* channel_bound = int_field "channel_bound" j in
       let* max_states = int_field "max_states" j in
       Ok
@@ -366,22 +380,26 @@ let of_json j =
     | k -> Error (Fmt.str "unknown corpus entry kind %S" k)
 
 let save path t =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () ->
-      output_string oc (Json.to_string (to_json t));
-      output_char oc '\n')
+  (* Atomic: a crash mid-write must never corrupt a committed artifact in
+     place. *)
+  Snapshot.write_atomic path (Json.to_string (to_json t) ^ "\n")
 
 let load path =
-  let ic = open_in path in
-  let contents =
-    Fun.protect
-      ~finally:(fun () -> close_in ic)
-      (fun () -> really_input_string ic (in_channel_length ic))
-  in
-  let* j = Json.parse contents in
-  of_json j
+  match In_channel.with_open_bin path In_channel.input_all with
+  | exception Sys_error msg -> Error msg
+  | contents ->
+    Result.map_error
+      (fun e -> Fmt.str "%s: %s" path e)
+      (let n = String.length contents in
+       (* [save] always ends the file with '\n' and the JSON body contains
+          no raw newline, so requiring it makes every strict byte-prefix of
+          a valid file fail instead of parsing as a shorter document. *)
+       let* () =
+         if n > 0 && contents.[n - 1] = '\n' then Ok ()
+         else Error "truncated entry (missing trailing newline)"
+       in
+       let* j = Json.parse contents in
+       of_json j)
 
 (* ------------------------------------------------------------------ *)
 

@@ -43,13 +43,22 @@ val instance_of_json : Json.v -> (Spp.Instance.t, string) result
 val entries_to_json : Spp.Instance.t -> Engine.Activation.t list -> Json.v
 
 val entries_of_json :
-  Spp.Instance.t -> Json.v -> (Engine.Activation.t list, string) result
+  ?ctx:string -> Spp.Instance.t -> Json.v -> (Engine.Activation.t list, string) result
+(** [ctx] (default ["entries"]) prefixes per-element error contexts, e.g.
+    ["witness[3]: unknown node \"x\""]. *)
 
 val to_json : t -> Json.v
 val of_json : Json.v -> (t, string) result
 
 val save : string -> t -> unit
+(** Atomic (temp file + rename, {!Engine.Snapshot.write_atomic}): a crash
+    mid-write never corrupts the artifact in place. *)
+
 val load : string -> (t, string) result
+(** Total, and strict: errors carry the file path (and the entry index
+    for per-element failures), and any strict byte-prefix of a valid file
+    — including the whole JSON body without its trailing newline — is an
+    [Error], never a half-loaded entry. *)
 
 (** {1 Replay} *)
 

@@ -18,6 +18,9 @@ type config = {
   budget : budget;
   domains : int;
   emit_dir : string option;
+  journal : string option;
+  journal_every : int;
+  resume : bool;
   log : string -> unit;
 }
 
@@ -27,6 +30,9 @@ let default_config =
     budget = Default;
     domains = Modelcheck.Explore.default_domains ();
     emit_dir = None;
+    journal = None;
+    journal_every = 1;
+    resume = false;
     log = ignore;
   }
 
@@ -41,6 +47,7 @@ type report = {
   violations : (Trial.positive * Trial.violation) list;
   negatives : negative_result list;
   negatives_out_of_budget : int;
+  closure_contradiction : Realization.Closure.contradiction option;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -91,7 +98,7 @@ let trials ~seeds =
    thousands of trials over many [run] calls, and spawning domains per
    call (the PR 1 scheme) cost an all-domain rendezvous each time. *)
 
-let parallel_map ~domains f arr =
+let parallel_mapi ~domains f arr =
   let n = Array.length arr in
   let results = Array.make n None in
   let next = Atomic.make 0 in
@@ -99,7 +106,7 @@ let parallel_map ~domains f arr =
     let rec loop () =
       let i = Atomic.fetch_and_add next 1 in
       if i < n then begin
-        results.(i) <- Some (f arr.(i));
+        results.(i) <- Some (f i arr.(i));
         loop ()
       end
     in
@@ -125,7 +132,48 @@ let run cfg =
        (List.length Realization.Facts.positives)
        cfg.domains
        (if cfg.domains = 1 then "" else "s"));
-  let verdicts = parallel_map ~domains:(max 1 cfg.domains) Trial.check_positive ts in
+  (* The journal prefills verdicts already earned by an interrupted sweep:
+     held positives are skipped outright, violated ones re-checked (to
+     regain the violation payload), and journaled negatives replayed. *)
+  let prior_pos = Array.make (max 1 (Array.length ts)) false in
+  let prior_neg = Hashtbl.create 16 in
+  let journal =
+    match cfg.journal with
+    | None -> None
+    | Some path ->
+      let fp =
+        Journal.fingerprint ~seeds:cfg.seeds ~budget:(budget_to_string cfg.budget)
+      in
+      let w, entries =
+        Journal.open_ ~path ~fingerprint:fp ~resume:cfg.resume
+          ~flush_every:cfg.journal_every
+      in
+      List.iter
+        (function
+          | Journal.Positive { index; held } ->
+            if held && index >= 0 && index < Array.length ts then
+              prior_pos.(index) <- true
+          | Journal.Negative { name; verdict } ->
+            Hashtbl.replace prior_neg name verdict)
+        entries;
+      if entries <> [] then
+        cfg.log
+          (Fmt.str "conformance: resuming from journal %s (%d entries)" path
+             (List.length entries));
+      Some w
+  in
+  let journal_record e = match journal with Some w -> Journal.record w e | None -> () in
+  let check_positive i t =
+    if prior_pos.(i) then Trial.Holds
+    else begin
+      let v = Trial.check_positive t in
+      journal_record
+        (Journal.Positive
+           { index = i; held = (match v with Trial.Holds -> true | _ -> false) });
+      v
+    end
+  in
+  let verdicts = parallel_mapi ~domains:(max 1 cfg.domains) check_positive ts in
   let held = ref 0 in
   let violations = ref [] in
   Array.iteri
@@ -164,14 +212,28 @@ let run cfg =
   let negatives =
     List.map
       (fun n ->
+        let name = Trial.negative_name n in
         let verdict =
-          Trial.check_negative ~config:Modelcheck.Explore.default_config n
+          match Hashtbl.find_opt prior_neg name with
+          | Some v -> v
+          | None ->
+            let v = Trial.check_negative ~config:Modelcheck.Explore.default_config n in
+            journal_record (Journal.Negative { name; verdict = v });
+            v
         in
-        cfg.log
-          (Fmt.str "negative: %s -> %a" (Trial.negative_name n)
-             Trial.pp_negative_verdict verdict);
+        cfg.log (Fmt.str "negative: %s -> %a" name Trial.pp_negative_verdict verdict);
         { neg = n; verdict })
       in_scope
+  in
+  (match journal with Some w -> Journal.close w | None -> ());
+  (* The symbolic closure is part of conformance too: a contradictory fact
+     base is reported as a finding, not an exception ending the sweep. *)
+  let closure_contradiction =
+    match Realization.Closure.derive () with
+    | Ok _ -> None
+    | Error c ->
+      cfg.log (Fmt.str "closure: %s" (Realization.Closure.contradiction_to_string c));
+      Some c
   in
   {
     positives_checked = Array.length ts;
@@ -179,6 +241,7 @@ let run cfg =
     violations;
     negatives;
     negatives_out_of_budget = List.length out;
+    closure_contradiction;
   }
 
 let falsely_passed r =
@@ -191,7 +254,8 @@ let skipped r =
     (fun nr -> match nr.verdict with Trial.Skipped _ -> true | _ -> false)
     r.negatives
 
-let ok r = r.violations = [] && falsely_passed r = []
+let ok r =
+  r.violations = [] && falsely_passed r = [] && r.closure_contradiction = None
 
 let pp_report ppf r =
   Fmt.pf ppf "positive facts: %d/%d trials held, %d violated@."
@@ -215,4 +279,7 @@ let pp_report ppf r =
       Fmt.pf ppf "  %s -> %a@." (Trial.negative_name nr.neg) Trial.pp_negative_verdict
         nr.verdict)
     (skipped r @ falsely_passed r);
+  (match r.closure_contradiction with
+  | None -> ()
+  | Some c -> Fmt.pf ppf "  %s@." (Realization.Closure.contradiction_to_string c));
   Fmt.pf ppf "conformance: %s@." (if ok r then "OK" else "DRIFT DETECTED")

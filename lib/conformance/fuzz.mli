@@ -28,12 +28,20 @@ type config = {
   domains : int;  (** worker domains for the positive sweep *)
   emit_dir : string option;
       (** where shrunk counterexamples are serialized, when set *)
+  journal : string option;
+      (** progress journal path: every finished trial is appended, so an
+          interrupted sweep resumes at the first incomplete (fact, seed)
+          pair — see {!Journal} *)
+  journal_every : int;  (** journal records between disk flushes (>= 1) *)
+  resume : bool;
+      (** prefill verdicts from an existing journal at [journal] (same
+          seeds/budget/fact base; a mismatched journal is discarded) *)
   log : string -> unit;  (** progress/violation lines; [ignore] to silence *)
 }
 
 val default_config : config
 (** 5 seeds, [Default] budget, {!Modelcheck.Explore.default_domains}
-    domains, no emission, silent. *)
+    domains, no emission, no journal, silent. *)
 
 type negative_result = {
   neg : Trial.negative;
@@ -47,6 +55,9 @@ type report = {
       (** already shrunk to minimal counterexamples *)
   negatives : negative_result list;  (** those within budget *)
   negatives_out_of_budget : int;
+  closure_contradiction : Realization.Closure.contradiction option;
+      (** a contradictory fact base, reported as a finding rather than
+          crashing the sweep *)
 }
 
 val instance_pool : seeds:int -> (string * Spp.Instance.t) list
@@ -67,7 +78,8 @@ val falsely_passed : report -> negative_result list
 val skipped : report -> negative_result list
 
 val ok : report -> bool
-(** No violated positive fact and no falsely-passed negative fact.
-    Skips do not fail the run (they are reported instead). *)
+(** No violated positive fact, no falsely-passed negative fact, and no
+    closure contradiction.  Skips do not fail the run (they are reported
+    instead). *)
 
 val pp_report : Format.formatter -> report -> unit

@@ -147,9 +147,7 @@ let parse inst text =
   in
   loop [] 1 lines
 
-let save inst ~path entries =
-  Out_channel.with_open_text path (fun oc ->
-      Out_channel.output_string oc (print inst entries))
+let save inst ~path entries = Snapshot.write_atomic path (print inst entries)
 
 let load inst ~path =
   match In_channel.with_open_text path In_channel.input_all with

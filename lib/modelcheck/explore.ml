@@ -106,28 +106,70 @@ let project_state inst st =
 let tick metrics f = match metrics with Some m -> f m | None -> ()
 
 (* ------------------------------------------------------------------ *)
+(* Checkpointing: the sequential explorer's progress maps one-to-one onto
+   {!Engine.Snapshot.t}, with edge labels converted between
+   [Enumerate.labeled] and the engine-level mirror record. *)
+
+type checkpoint = { path : string; every : int }
+
+let snap_edge (e : edge) =
+  {
+    Snapshot.dst = e.dst;
+    label =
+      {
+        Snapshot.entry = e.label.Enumerate.entry;
+        l_reads = e.label.Enumerate.reads;
+        l_drops = e.label.Enumerate.drops;
+        l_cleans = e.label.Enumerate.cleans;
+      };
+  }
+
+let unsnap_edge (e : Snapshot.edge) =
+  {
+    dst = e.Snapshot.dst;
+    label =
+      {
+        Enumerate.entry = e.Snapshot.label.Snapshot.entry;
+        reads = e.Snapshot.label.Snapshot.l_reads;
+        drops = e.Snapshot.label.Snapshot.l_drops;
+        cleans = e.Snapshot.label.Snapshot.l_cleans;
+      };
+  }
+
+(* ------------------------------------------------------------------ *)
 (* Sequential exploration.  The [max_states] bound is enforced at intern
    time: the graph never holds more than [max_states] states, every held
    state has an accurate adjacency row, and edges to states beyond the
    bound are dropped with [truncated] set (symmetric with channel-bound
-   pruning). *)
+   pruning).
 
-let explore_seq ~config ?metrics inst ~successors ~collapse =
+   Counters accumulate in local mutables and merge into [metrics] once at
+   the end (like the parallel path), so a checkpoint can record the
+   exploration's own exact totals even when the caller threads one metrics
+   value through several phases. *)
+
+let explore_seq ~config ?metrics ?checkpoint ?resume inst ~successors ~collapse =
   let max_states = max 1 config.max_states in
   let index = StateTbl.create 1024 in
   let states = ref [] and n_states = ref 0 in
   let adjacency = ref [] in
   let pruned = ref false and truncated = ref false in
   let queue = Queue.create () in
+  let c_interned = ref 0
+  and c_dedup = ref 0
+  and c_edges = ref 0
+  and c_pruned = ref 0
+  and c_trunc = ref 0
+  and c_peak = ref 0 in
   let intern st =
     match StateTbl.find_opt index st with
     | Some i ->
-      tick metrics Metrics.incr_dedup;
+      incr c_dedup;
       Some (i, false)
     | None ->
       if !n_states >= max_states then begin
         truncated := true;
-        tick metrics Metrics.incr_truncated;
+        incr c_trunc;
         None
       end
       else begin
@@ -135,13 +177,63 @@ let explore_seq ~config ?metrics inst ~successors ~collapse =
         StateTbl.add index st i;
         states := st :: !states;
         incr n_states;
-        tick metrics Metrics.incr_interned;
+        incr c_interned;
         Some (i, true)
       end
   in
-  let init = State.initial inst in
-  (match intern init with Some _ -> () | None -> assert false);
-  Queue.add (0, init) queue;
+  (match resume with
+  | Some (snap : Snapshot.t) ->
+    if snap.Snapshot.channel_bound <> config.channel_bound then
+      invalid_arg
+        (Printf.sprintf "Explore: resume snapshot has channel_bound %d, config wants %d"
+           snap.Snapshot.channel_bound config.channel_bound);
+    if snap.Snapshot.max_states <> config.max_states then
+      invalid_arg
+        (Printf.sprintf "Explore: resume snapshot has max_states %d, config wants %d"
+           snap.Snapshot.max_states config.max_states);
+    Array.iteri
+      (fun i st ->
+        StateTbl.add index st i;
+        states := st :: !states;
+        incr n_states)
+      snap.Snapshot.states;
+    adjacency :=
+      List.map (fun (i, es) -> (i, List.map unsnap_edge es)) snap.Snapshot.rows;
+    List.iter (fun i -> Queue.add (i, snap.Snapshot.states.(i)) queue) snap.Snapshot.frontier;
+    pruned := snap.Snapshot.pruned;
+    truncated := snap.Snapshot.truncated;
+    c_interned := snap.Snapshot.counters.Snapshot.interned;
+    c_dedup := snap.Snapshot.counters.Snapshot.dedup;
+    c_edges := snap.Snapshot.counters.Snapshot.edges;
+    c_pruned := snap.Snapshot.counters.Snapshot.pruned_writes;
+    c_trunc := snap.Snapshot.counters.Snapshot.truncated_interns;
+    c_peak := snap.Snapshot.counters.Snapshot.peak_frontier
+  | None ->
+    let init = State.initial inst in
+    (match intern init with Some _ -> () | None -> assert false);
+    Queue.add (0, init) queue);
+  let write_checkpoint path =
+    Snapshot.save ~path inst
+      {
+        Snapshot.channel_bound = config.channel_bound;
+        max_states = config.max_states;
+        states = Array.of_list (List.rev !states);
+        rows = List.map (fun (i, es) -> (i, List.map snap_edge es)) !adjacency;
+        frontier = List.rev (Queue.fold (fun acc (i, _) -> i :: acc) [] queue);
+        pruned = !pruned;
+        truncated = !truncated;
+        counters =
+          {
+            Snapshot.interned = !c_interned;
+            dedup = !c_dedup;
+            edges = !c_edges;
+            pruned_writes = !c_pruned;
+            truncated_interns = !c_trunc;
+            peak_frontier = !c_peak;
+          };
+      }
+  in
+  let since_checkpoint = ref 0 in
   while not (Queue.is_empty queue) do
     let i, st = Queue.pop queue in
     let edges =
@@ -151,7 +243,7 @@ let explore_seq ~config ?metrics inst ~successors ~collapse =
           let st' = project_state inst (collapse outcome.Step.state) in
           if State.max_occupancy st' > config.channel_bound then begin
             pruned := true;
-            tick metrics Metrics.incr_pruned;
+            incr c_pruned;
             None
           end
           else begin
@@ -163,11 +255,25 @@ let explore_seq ~config ?metrics inst ~successors ~collapse =
           end)
         (successors st)
     in
-    tick metrics (fun m ->
-        Metrics.add_edges m (List.length edges);
-        Metrics.observe_frontier m (Queue.length queue));
-    adjacency := (i, edges) :: !adjacency
+    c_edges := !c_edges + List.length edges;
+    c_peak := max !c_peak (Queue.length queue);
+    adjacency := (i, edges) :: !adjacency;
+    match checkpoint with
+    | Some { path; every } ->
+      incr since_checkpoint;
+      if !since_checkpoint >= every && not (Queue.is_empty queue) then begin
+        since_checkpoint := 0;
+        write_checkpoint path
+      end
+    | None -> ()
   done;
+  tick metrics (fun m ->
+      Metrics.add_interned m !c_interned;
+      Metrics.add_dedup m !c_dedup;
+      Metrics.add_edges m !c_edges;
+      Metrics.add_pruned m !c_pruned;
+      Metrics.add_truncated m !c_trunc;
+      Metrics.observe_frontier m !c_peak);
   let states_arr = Array.of_list (List.rev !states) in
   let adj = Array.make (Array.length states_arr) [] in
   List.iter (fun (i, es) -> adj.(i) <- es) !adjacency;
@@ -478,9 +584,20 @@ let explore_ws ~config ~domains ~spill ?metrics inst ~successors ~collapse =
     truncated = sum (fun w -> w.s_truncated) > 0;
   }
 
-let explore_with ?(config = default_config) ?domains ?spill ?metrics inst ~successors
-    ~collapse =
-  let domains = match domains with Some d -> max 1 d | None -> default_domains () in
+let explore_with ?(config = default_config) ?domains ?spill ?metrics ?checkpoint
+    ?resume inst ~successors ~collapse =
+  (match checkpoint with
+  | Some { every; _ } when every < 1 ->
+    invalid_arg "Explore: checkpoint every must be >= 1"
+  | _ -> ());
+  (* Checkpoint/resume is defined only for the deterministic sequential
+     order (work-stealing numbering is nondeterministic), so either option
+     forces the sequential path regardless of [domains]/[spill]. *)
+  let deterministic = checkpoint <> None || resume <> None in
+  let domains =
+    if deterministic then 1
+    else match domains with Some d -> max 1 d | None -> default_domains ()
+  in
   tick metrics (fun m -> Metrics.set_domains m domains);
   let spill =
     if domains = 1 then None
@@ -488,11 +605,11 @@ let explore_with ?(config = default_config) ?domains ?spill ?metrics inst ~succe
   in
   Metrics.timed ?m:metrics "explore" (fun () ->
       match spill with
-      | None -> explore_seq ~config ?metrics inst ~successors ~collapse
+      | None -> explore_seq ~config ?metrics ?checkpoint ?resume inst ~successors ~collapse
       | Some spill ->
         explore_ws ~config ~domains ~spill ?metrics inst ~successors ~collapse)
 
-let explore ?config ?domains ?spill ?metrics inst model =
-  explore_with ?config ?domains ?spill ?metrics inst
+let explore ?config ?domains ?spill ?metrics ?checkpoint ?resume inst model =
+  explore_with ?config ?domains ?spill ?metrics ?checkpoint ?resume inst
     ~successors:(Enumerate.successors inst model)
     ~collapse:(collapse_state model)

@@ -54,11 +54,19 @@ val collapse_state : Engine.Model.t -> Engine.State.t -> Engine.State.t
 (** The last-message-only channel reduction, exact for reliable polling
     models (identity otherwise). *)
 
+type checkpoint = { path : string; every : int }
+(** Write an {!Engine.Snapshot} of the exploration's progress to [path]
+    (atomically, via temp file + rename) after every [every] expanded
+    states.  No checkpoint is written once the frontier drains — a file
+    left behind always resumes to the same final graph. *)
+
 val explore :
   ?config:config ->
   ?domains:int ->
   ?spill:int ->
   ?metrics:Engine.Metrics.t ->
+  ?checkpoint:checkpoint ->
+  ?resume:Engine.Snapshot.t ->
   Spp.Instance.t ->
   Engine.Model.t ->
   graph
@@ -68,6 +76,8 @@ val explore_with :
   ?domains:int ->
   ?spill:int ->
   ?metrics:Engine.Metrics.t ->
+  ?checkpoint:checkpoint ->
+  ?resume:Engine.Snapshot.t ->
   Spp.Instance.t ->
   successors:(Engine.State.t -> Enumerate.labeled list) ->
   collapse:(Engine.State.t -> Engine.State.t) ->
@@ -78,4 +88,13 @@ val explore_with :
     they are called concurrently from several domains.  With [metrics],
     interning, dedup, pruning and frontier counters are recorded (merged
     once at join on the parallel path), plus an "explore" wall-time
-    phase. *)
+    phase.
+
+    [?checkpoint] and [?resume] (a snapshot loaded by the caller with
+    {!Engine.Snapshot.load}) are defined only for the deterministic
+    sequential order, so either forces [domains = 1].  Resuming continues
+    the saved BFS — same intern table, same queue order — so the final
+    verdict, state count and edge multiset are bit-identical to an
+    uninterrupted run.  Raises [Invalid_argument] if the snapshot's
+    recorded [channel_bound]/[max_states] disagree with [config], or if
+    [checkpoint.every < 1]. *)

@@ -29,6 +29,13 @@ let () =
 let idx m = Hashtbl.find index_of (Model.to_string m)
 let models = Array.of_list Model.all
 
+type contradiction = {
+  realized : Model.t;
+  realizer : Model.t;
+  c_proven : int;
+  c_disproven : int;
+}
+
 let derive ?(positives = Facts.positives) ?(negatives = Facts.negatives) () =
   let proven = Array.make_matrix n_models n_models 0 in
   let disproven = Array.make_matrix n_models n_models 5 in
@@ -120,16 +127,35 @@ let derive ?(positives = Facts.positives) ?(negatives = Facts.negatives) () =
       done
     done
   done;
-  (* Consistency. *)
-  for a = 0 to n_models - 1 do
-    for b = 0 to n_models - 1 do
+  (* Consistency.  A contradictory fact base is a finding about the facts,
+     not a programming error, so it comes back as a typed [Error] the
+     conformance harness can report instead of crashing the sweep. *)
+  let contradiction = ref None in
+  for a = n_models - 1 downto 0 do
+    for b = n_models - 1 downto 0 do
       if proven.(a).(b) >= disproven.(a).(b) then
-        failwith
-          (Fmt.str "Closure: contradiction at (%a realized by %a): proven %d, disproven %d"
-             Model.pp models.(a) Model.pp models.(b) proven.(a).(b) disproven.(a).(b))
+        contradiction :=
+          Some
+            {
+              realized = models.(a);
+              realizer = models.(b);
+              c_proven = proven.(a).(b);
+              c_disproven = disproven.(a).(b);
+            }
     done
   done;
-  { proven; disproven; proofs; refutations }
+  match !contradiction with
+  | Some c -> Error c
+  | None -> Ok { proven; disproven; proofs; refutations }
+
+let contradiction_to_string (c : contradiction) =
+  Fmt.str "Closure: contradiction at (%a realized by %a): proven %d, disproven %d"
+    Model.pp c.realized Model.pp c.realizer c.c_proven c.c_disproven
+
+let derive_exn ?positives ?negatives () =
+  match derive ?positives ?negatives () with
+  | Ok t -> t
+  | Error c -> failwith (contradiction_to_string c)
 
 let cell t ~realized ~realizer =
   let a = idx realized and b = idx realizer in

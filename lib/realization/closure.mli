@@ -39,10 +39,32 @@ type refutation =
 
 type t
 
-val derive : ?positives:Facts.positive list -> ?negatives:Facts.negative list -> unit -> t
+type contradiction = {
+  realized : Engine.Model.t;
+  realizer : Engine.Model.t;
+  c_proven : int;  (** best proven level for the offending cell *)
+  c_disproven : int;  (** weakest disproven level for the same cell *)
+}
+(** A cell where the closed fact base both proves and disproves a level
+    ([c_proven >= c_disproven]): the facts are inconsistent. *)
+
+val contradiction_to_string : contradiction -> string
+
+val derive :
+  ?positives:Facts.positive list ->
+  ?negatives:Facts.negative list ->
+  unit ->
+  (t, contradiction) result
 (** Runs the closure to fixpoint (defaults to the paper's fact base).
-    Raises [Failure] if the facts become contradictory (some pair both
-    proven and disproven at a level). *)
+    A contradictory fact base (some pair both proven and disproven at a
+    level) is an [Error] carrying the first offending cell in row-major
+    order — a finding about the facts, not an exception. *)
+
+val derive_exn :
+  ?positives:Facts.positive list -> ?negatives:Facts.negative list -> unit -> t
+(** Like {!derive} but raises [Failure] with {!contradiction_to_string} on
+    a contradiction; for display-only callers (table printers, examples)
+    where the paper's fact base is known consistent. *)
 
 val cell : t -> realized:Engine.Model.t -> realizer:Engine.Model.t -> cell
 

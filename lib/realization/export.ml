@@ -67,7 +67,7 @@ let write_all closure ~dir =
   if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
   let write name content =
     let path = Filename.concat dir name in
-    Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc content);
+    Engine.Snapshot.write_atomic path content;
     path
   in
   [

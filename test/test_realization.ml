@@ -61,7 +61,7 @@ let test_seqcheck_subsequence () =
 (* ------------------------------------------------------------------ *)
 (* Closure vs. the paper's tables *)
 
-let closure = lazy (Closure.derive ())
+let closure = lazy (Closure.derive_exn ())
 
 let test_closure_no_contradiction () =
   let c = Lazy.force closure in
@@ -377,7 +377,7 @@ let test_closure_monotone_in_facts () =
   (* Removing facts can only weaken conclusions. *)
   let full = Lazy.force closure in
   let fewer =
-    Closure.derive
+    Closure.derive_exn
       ~positives:
         (List.filter (fun (f : Facts.positive) -> f.Facts.source <> "Thm. 3.5") Facts.positives)
       ~negatives:Facts.negatives ()
@@ -391,7 +391,7 @@ let test_closure_monotone_in_facts () =
     (Closure.cells full)
 
 let test_closure_without_negatives_all_unknown_upper () =
-  let pos_only = Closure.derive ~negatives:[] () in
+  let pos_only = Closure.derive_exn ~negatives:[] () in
   List.iter
     (fun (_, _, (c : Closure.cell)) ->
       Alcotest.(check int) "nothing disproven" 5 c.Closure.disproven)

@@ -1,0 +1,392 @@
+(* Crash-safety tests for the checkpoint/resume subsystem (PR 5):
+   snapshot round-trips, the strict-byte-prefix property for snapshot and
+   corpus files (loading any prefix fails with [Error], never raises,
+   never half-loads), the conformance journal's crash/compaction behavior,
+   and a kill-and-resume integration test asserting a resumed exploration
+   matches an uninterrupted one on states/edges/flags/verdict across all
+   24 models. *)
+
+open Spp
+open Engine
+open Modelcheck
+
+let model s =
+  match Model.of_string s with Some m -> m | None -> Alcotest.failf "bad model %s" s
+
+let tmp name = Filename.concat (Filename.get_temp_dir_name ()) ("commrouting-test-" ^ name)
+
+let write_raw path contents =
+  Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc contents)
+
+(* Canonical label rendering: [Activation.t] holds an [IntSet] whose
+   internal tree shape depends on construction order, so polymorphic
+   equality is not a reliable label comparison — the serialized form is. *)
+let label_key inst (l : Enumerate.labeled) =
+  ( Conformance.Corpus.Json.to_string
+      (Conformance.Corpus.entries_to_json inst [ l.Enumerate.entry ]),
+    l.Enumerate.reads,
+    l.Enumerate.drops,
+    l.Enumerate.cleans )
+
+let check_same_graph inst name (a : Explore.graph) (b : Explore.graph) =
+  Alcotest.(check int)
+    (name ^ ": state count")
+    (Array.length a.Explore.states)
+    (Array.length b.Explore.states);
+  Array.iteri
+    (fun i st ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: state %d identical" name i)
+        true
+        (State.equal st b.Explore.states.(i)))
+    a.Explore.states;
+  Alcotest.(check bool) (name ^ ": pruned") a.Explore.pruned b.Explore.pruned;
+  Alcotest.(check bool) (name ^ ": truncated") a.Explore.truncated b.Explore.truncated;
+  Array.iteri
+    (fun i ea ->
+      let eb = b.Explore.adjacency.(i) in
+      let key (e : Explore.edge) = (e.Explore.dst, label_key inst e.Explore.label) in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: row %d edges identical" name i)
+        true
+        (List.map key ea = List.map key eb))
+    a.Explore.adjacency;
+  Alcotest.(check string)
+    (name ^ ": verdict")
+    (Oscillation.verdict_name (Oscillation.analyze_graph inst a))
+    (Oscillation.verdict_name (Oscillation.analyze_graph inst b))
+
+(* A completed exploration as a snapshot value (empty frontier). *)
+let snapshot_of_graph (config : Explore.config) (g : Explore.graph) : Snapshot.t =
+  let conv (e : Explore.edge) =
+    {
+      Snapshot.dst = e.Explore.dst;
+      label =
+        {
+          Snapshot.entry = e.Explore.label.Enumerate.entry;
+          l_reads = e.Explore.label.Enumerate.reads;
+          l_drops = e.Explore.label.Enumerate.drops;
+          l_cleans = e.Explore.label.Enumerate.cleans;
+        };
+    }
+  in
+  let rows = ref [] and edges = ref 0 in
+  Array.iteri
+    (fun i es ->
+      edges := !edges + List.length es;
+      rows := (i, List.map conv es) :: !rows)
+    g.Explore.adjacency;
+  {
+    Snapshot.channel_bound = config.Explore.channel_bound;
+    max_states = config.Explore.max_states;
+    states = g.Explore.states;
+    rows = !rows;
+    frontier = [];
+    pruned = g.Explore.pruned;
+    truncated = g.Explore.truncated;
+    counters =
+      {
+        Snapshot.interned = Array.length g.Explore.states;
+        dedup = 0;
+        edges = !edges;
+        pruned_writes = 0;
+        truncated_interns = 0;
+        peak_frontier = 0;
+      };
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Round-trip *)
+
+let test_snapshot_roundtrip () =
+  let inst = Gadgets.disagree in
+  let config = Explore.default_config in
+  let g = Explore.explore ~config ~domains:1 inst (model "R1O") in
+  let snap = snapshot_of_graph config g in
+  let path = tmp "roundtrip.snap" in
+  Snapshot.save ~path inst snap;
+  (match Snapshot.load ~path inst with
+  | Error e -> Alcotest.failf "load failed: %s" (Snapshot.error_to_string e)
+  | Ok got ->
+    Alcotest.(check int) "channel_bound" snap.Snapshot.channel_bound got.Snapshot.channel_bound;
+    Alcotest.(check int) "max_states" snap.Snapshot.max_states got.Snapshot.max_states;
+    Alcotest.(check int)
+      "state count"
+      (Array.length snap.Snapshot.states)
+      (Array.length got.Snapshot.states);
+    Array.iteri
+      (fun i st ->
+        Alcotest.(check bool)
+          (Printf.sprintf "state %d digest" i)
+          true
+          (State.equal st got.Snapshot.states.(i)))
+      snap.Snapshot.states;
+    Alcotest.(check int)
+      "row count"
+      (List.length snap.Snapshot.rows)
+      (List.length got.Snapshot.rows);
+    Alcotest.(check (list int)) "frontier" snap.Snapshot.frontier got.Snapshot.frontier;
+    Alcotest.(check int) "edges counter" snap.Snapshot.counters.Snapshot.edges
+      got.Snapshot.counters.Snapshot.edges);
+  Sys.remove path
+
+let test_snapshot_wrong_instance () =
+  let inst = Gadgets.disagree in
+  let config = Explore.default_config in
+  let g = Explore.explore ~config ~domains:1 inst (model "REA") in
+  let path = tmp "wrong-instance.snap" in
+  Snapshot.save ~path inst (snapshot_of_graph config g);
+  (match Snapshot.load ~path Gadgets.fig6 with
+  | Error (Snapshot.Mismatch _) -> ()
+  | Error e -> Alcotest.failf "expected Mismatch, got %s" (Snapshot.error_to_string e)
+  | Ok _ -> Alcotest.fail "loaded a snapshot against the wrong instance");
+  Sys.remove path
+
+(* ------------------------------------------------------------------ *)
+(* Strict-byte-prefix property: every proper prefix of a valid artifact
+   fails with [Error] — never an exception, never a half-loaded value. *)
+
+let prefix_lengths n =
+  (* All prefixes for small files; for larger ones every length in the
+     first/last 512 bytes (header, digest and truncation boundaries) plus
+     a dense stride through the middle. *)
+  if n <= 8192 then List.init n Fun.id
+  else
+    let step = max 1 (n / 2048) in
+    let rec strided acc i = if i >= n then acc else strided (i :: acc) (i + step) in
+    List.sort_uniq compare
+      (List.init 512 Fun.id
+      @ List.init 512 (fun i -> n - 1 - i)
+      @ strided [] 512)
+
+let test_snapshot_prefixes_fail () =
+  let inst = Gadgets.disagree in
+  let config = Explore.default_config in
+  let g = Explore.explore ~config ~domains:1 inst (model "R1O") in
+  let path = tmp "prefix.snap" in
+  Snapshot.save ~path inst (snapshot_of_graph config g);
+  let contents = In_channel.with_open_bin path In_channel.input_all in
+  let n = String.length contents in
+  let part = tmp "prefix.snap.part" in
+  List.iter
+    (fun len ->
+      write_raw part (String.sub contents 0 len);
+      match Snapshot.load ~path:part inst with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "prefix of %d/%d bytes loaded successfully" len n
+      | exception e ->
+        Alcotest.failf "prefix of %d/%d bytes raised %s" len n (Printexc.to_string e))
+    (prefix_lengths n);
+  Sys.remove path;
+  Sys.remove part
+
+let sample_corpus_entry () =
+  Conformance.Trial.force_routes ();
+  let f = List.hd Realization.Facts.positives in
+  let inst_name, inst = List.hd (Conformance.Fuzz.instance_pool ~seeds:1) in
+  let entries =
+    Conformance.Fuzz.schedule inst f.Realization.Facts.realized ~seed:7 ~len:10
+  in
+  let trial = Conformance.Trial.of_fact f ~inst_name inst entries in
+  Conformance.Corpus.positive ~name:"prefix-test" ~expect:Conformance.Corpus.Expect_holds
+    trial
+
+let test_corpus_prefixes_fail () =
+  let entry = sample_corpus_entry () in
+  let path = tmp "prefix.corpus.json" in
+  Conformance.Corpus.save path entry;
+  (match Conformance.Corpus.load path with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "the full corpus file must load: %s" e);
+  let contents = In_channel.with_open_bin path In_channel.input_all in
+  let n = String.length contents in
+  let part = tmp "prefix.corpus.json.part" in
+  List.iter
+    (fun len ->
+      write_raw part (String.sub contents 0 len);
+      match Conformance.Corpus.load part with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "corpus prefix of %d/%d bytes loaded successfully" len n
+      | exception e ->
+        Alcotest.failf "corpus prefix of %d/%d bytes raised %s" len n
+          (Printexc.to_string e))
+    (prefix_lengths n);
+  Sys.remove path;
+  Sys.remove part
+
+(* ------------------------------------------------------------------ *)
+(* Journal *)
+
+let test_journal_resume_and_partial_line () =
+  let path = tmp "journal.txt" in
+  let fp = Conformance.Journal.fingerprint ~seeds:3 ~budget:"default" in
+  let entries =
+    [
+      Conformance.Journal.Positive { index = 0; held = true };
+      Conformance.Journal.Positive { index = 4; held = false };
+      Conformance.Journal.Negative
+        { name = "A cannot realize B at exact [spaces are fine]";
+          verdict = Conformance.Trial.Skipped "budget: too deep" };
+    ]
+  in
+  let w, prior = Conformance.Journal.open_ ~path ~fingerprint:fp ~resume:false ~flush_every:1 in
+  Alcotest.(check int) "fresh journal is empty" 0 (List.length prior);
+  List.iter (Conformance.Journal.record w) entries;
+  Conformance.Journal.close w;
+  (* Simulate a crash mid-append: a partial trailing line. *)
+  Out_channel.with_open_gen
+    [ Open_wronly; Open_append; Open_binary ]
+    0o644 path
+    (fun oc -> Out_channel.output_string oc "P\t9");
+  let w, prior = Conformance.Journal.open_ ~path ~fingerprint:fp ~resume:true ~flush_every:1 in
+  Alcotest.(check int) "partial line dropped, rest kept" 3 (List.length prior);
+  Alcotest.(check bool) "entries round-trip" true (prior = entries);
+  Conformance.Journal.record w (Conformance.Journal.Positive { index = 9; held = true });
+  Conformance.Journal.close w;
+  let w, prior =
+    Conformance.Journal.open_ ~path ~fingerprint:fp ~resume:true ~flush_every:1
+  in
+  Conformance.Journal.close w;
+  Alcotest.(check int) "append after compaction" 4 (List.length prior);
+  (* A journal written under a different configuration is ignored. *)
+  let other = Conformance.Journal.fingerprint ~seeds:99 ~budget:"deep" in
+  let w, prior =
+    Conformance.Journal.open_ ~path ~fingerprint:other ~resume:true ~flush_every:1
+  in
+  Conformance.Journal.close w;
+  Alcotest.(check int) "mismatched fingerprint discards" 0 (List.length prior);
+  Sys.remove path
+
+(* ------------------------------------------------------------------ *)
+(* Kill-and-resume across all 24 models: interrupt an exploration by
+   raising from [successors] after [k] expansions, resume from the last
+   checkpoint on disk, and require the resumed graph to be identical to an
+   uninterrupted run's. *)
+
+exception Killed
+
+let test_kill_and_resume_all_models () =
+  let inst = Gadgets.disagree in
+  let config = Explore.default_config in
+  List.iter
+    (fun m ->
+      let name = Model.to_string m in
+      let path = tmp ("kill-" ^ name ^ ".snap") in
+      if Sys.file_exists path then Sys.remove path;
+      let successors = Enumerate.successors inst m in
+      let collapse = Explore.collapse_state m in
+      let uninterrupted = Explore.explore ~config ~domains:1 inst m in
+      (* Phase 1: run with checkpointing and kill after 5 expansions. *)
+      let calls = ref 0 in
+      let killing st =
+        incr calls;
+        if !calls > 5 then raise Killed else successors st
+      in
+      (match
+         Explore.explore_with ~config
+           ~checkpoint:{ Explore.path; every = 2 }
+           inst ~successors:killing ~collapse
+       with
+      | (_ : Explore.graph) -> () (* fewer than 5 expansions: ran to completion *)
+      | exception Killed -> ());
+      (* Phase 2: resume from the checkpoint if one was written. *)
+      let resume =
+        if not (Sys.file_exists path) then None
+        else
+          match Snapshot.load ~path inst with
+          | Ok s -> Some s
+          | Error e ->
+            Alcotest.failf "%s: checkpoint load failed: %s" name
+              (Snapshot.error_to_string e)
+      in
+      let resumed = Explore.explore_with ~config ?resume inst ~successors ~collapse in
+      check_same_graph inst name uninterrupted resumed;
+      if Sys.file_exists path then Sys.remove path)
+    Model.all
+
+let test_resume_config_mismatch_rejected () =
+  let inst = Gadgets.disagree in
+  let config = Explore.default_config in
+  let g = Explore.explore ~config ~domains:1 inst (model "REA") in
+  let snap = snapshot_of_graph config g in
+  match
+    Explore.explore
+      ~config:{ config with Explore.channel_bound = config.Explore.channel_bound + 1 }
+      ~resume:snap inst (model "REA")
+  with
+  | (_ : Explore.graph) -> Alcotest.fail "config mismatch accepted"
+  | exception Invalid_argument _ -> ()
+
+(* Restored counters: a resumed run's metrics must equal an uninterrupted
+   run's (the snapshot carries the exploration's own totals). *)
+let test_resume_counters_identical () =
+  let inst = Gadgets.disagree in
+  let config = Explore.default_config in
+  let m = model "UMS" in
+  let successors = Enumerate.successors inst m in
+  let collapse = Explore.collapse_state m in
+  let path = tmp "counters.snap" in
+  if Sys.file_exists path then Sys.remove path;
+  let metrics_full = Metrics.create () in
+  let (_ : Explore.graph) =
+    Explore.explore_with ~config ~domains:1 ~metrics:metrics_full inst ~successors
+      ~collapse
+  in
+  let calls = ref 0 in
+  let killing st =
+    incr calls;
+    if !calls > 7 then raise Killed else successors st
+  in
+  (match
+     Explore.explore_with ~config
+       ~checkpoint:{ Explore.path; every = 2 }
+       inst ~successors:killing ~collapse
+   with
+  | (_ : Explore.graph) -> ()
+  | exception Killed -> ());
+  Alcotest.(check bool) "a checkpoint was written" true (Sys.file_exists path);
+  let resume =
+    match Snapshot.load ~path inst with
+    | Ok s -> Some s
+    | Error e -> Alcotest.failf "load failed: %s" (Snapshot.error_to_string e)
+  in
+  let metrics_resumed = Metrics.create () in
+  let (_ : Explore.graph) =
+    Explore.explore_with ~config ~metrics:metrics_resumed ?resume inst ~successors
+      ~collapse
+  in
+  Alcotest.(check int) "edges counter" (Metrics.edges metrics_full)
+    (Metrics.edges metrics_resumed);
+  Alcotest.(check int) "peak frontier" (Metrics.peak_frontier metrics_full)
+    (Metrics.peak_frontier metrics_resumed);
+  Alcotest.(check (float 1e-9)) "dedup rate" (Metrics.dedup_rate metrics_full)
+    (Metrics.dedup_rate metrics_resumed);
+  Sys.remove path
+
+let () =
+  Alcotest.run "snapshot"
+    [
+      ( "snapshot",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_snapshot_roundtrip;
+          Alcotest.test_case "wrong instance rejected" `Quick test_snapshot_wrong_instance;
+          Alcotest.test_case "all strict prefixes fail" `Quick test_snapshot_prefixes_fail;
+        ] );
+      ( "corpus",
+        [ Alcotest.test_case "all strict prefixes fail" `Quick test_corpus_prefixes_fail ]
+      );
+      ( "journal",
+        [
+          Alcotest.test_case "resume, partial line, fingerprint" `Quick
+            test_journal_resume_and_partial_line;
+        ] );
+      ( "resume",
+        [
+          Alcotest.test_case "kill-and-resume matches (all 24 models)" `Quick
+            test_kill_and_resume_all_models;
+          Alcotest.test_case "config mismatch rejected" `Quick
+            test_resume_config_mismatch_rejected;
+          Alcotest.test_case "restored counters identical" `Quick
+            test_resume_counters_identical;
+        ] );
+    ]
