@@ -107,6 +107,7 @@ let () =
   let checkpoint = ref "" in
   let checkpoint_every = ref 1 in
   let resume = ref false in
+  let reduction = ref Modelcheck.Reduce.No_reduction in
   let spec =
     [
       ( "--seeds",
@@ -134,6 +135,20 @@ let () =
         Arg.Set_string samples,
         "DIR regenerate the committed sample corpus entries and exit" );
       ("--quiet", Arg.Set quiet, " suppress per-trial progress lines");
+      ( "--reduction",
+        Arg.String
+          (fun s ->
+            match Modelcheck.Reduce.of_string s with
+            | Some Modelcheck.Reduce.Sym ->
+              raise
+                (Arg.Bad
+                   "--reduction sym is not supported here: separation checks \
+                    replay witnesses, which a symmetry quotient only preserves \
+                    up to relabeling")
+            | Some r -> reduction := r
+            | None -> raise (Arg.Bad ("--reduction expects por|none: " ^ s))),
+        "por|none state-space reduction for negative-check explorations \
+         (default none)" );
       ( "--checkpoint",
         Arg.Set_string checkpoint,
         "PATH journal every finished trial to PATH, so a killed sweep can resume" );
@@ -172,6 +187,7 @@ let () =
         Conformance.Fuzz.seeds = !seeds;
         budget;
         domains = !domains;
+        reduction = !reduction;
         emit_dir = (if !emit = "" then None else Some !emit);
         journal = (if !checkpoint = "" then None else Some !checkpoint);
         journal_every = !checkpoint_every;

@@ -17,6 +17,7 @@ type config = {
   seeds : int;
   budget : budget;
   domains : int;
+  reduction : Modelcheck.Reduce.t;
   emit_dir : string option;
   journal : string option;
   journal_every : int;
@@ -29,6 +30,7 @@ let default_config =
     seeds = 5;
     budget = Default;
     domains = Modelcheck.Explore.default_domains ();
+    reduction = Modelcheck.Reduce.No_reduction;
     emit_dir = None;
     journal = None;
     journal_every = 1;
@@ -142,7 +144,9 @@ let run cfg =
     | None -> None
     | Some path ->
       let fp =
-        Journal.fingerprint ~seeds:cfg.seeds ~budget:(budget_to_string cfg.budget)
+        Journal.fingerprint
+          ~reduction:(Modelcheck.Reduce.to_string cfg.reduction)
+          ~seeds:cfg.seeds ~budget:(budget_to_string cfg.budget) ()
       in
       let w, entries =
         Journal.open_ ~path ~fingerprint:fp ~resume:cfg.resume
@@ -217,7 +221,10 @@ let run cfg =
           match Hashtbl.find_opt prior_neg name with
           | Some v -> v
           | None ->
-            let v = Trial.check_negative ~config:Modelcheck.Explore.default_config n in
+            let v =
+              Trial.check_negative ~reduction:cfg.reduction
+                ~config:Modelcheck.Explore.default_config n
+            in
             journal_record (Journal.Negative { name; verdict = v });
             v
         in

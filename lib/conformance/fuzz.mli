@@ -26,6 +26,10 @@ type config = {
   seeds : int;  (** number of generated instances joining the gadget pool *)
   budget : budget;
   domains : int;  (** worker domains for the positive sweep *)
+  reduction : Modelcheck.Reduce.t;
+      (** state-space reduction for the negative checks' explorations;
+          [Sym] is rejected (witnesses from a symmetry quotient are only
+          valid up to relabeling, and separation checks replay them) *)
   emit_dir : string option;
       (** where shrunk counterexamples are serialized, when set *)
   journal : string option;
@@ -41,7 +45,7 @@ type config = {
 
 val default_config : config
 (** 5 seeds, [Default] budget, {!Modelcheck.Explore.default_domains}
-    domains, no emission, no journal, silent. *)
+    domains, no reduction, no emission, no journal, silent. *)
 
 type negative_result = {
   neg : Trial.negative;

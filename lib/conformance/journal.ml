@@ -11,11 +11,11 @@ type writer = {
   mutable since_flush : int;
 }
 
-let fingerprint ~seeds ~budget =
+let fingerprint ?(reduction = "none") ~seeds ~budget () =
   Digest.to_hex
     (Digest.string
-       (Printf.sprintf "%s|seeds=%d|budget=%s|positives=%d|negatives=%d" magic
-          seeds budget
+       (Printf.sprintf "%s|seeds=%d|budget=%s|reduction=%s|positives=%d|negatives=%d"
+          magic seeds budget reduction
           (List.length Realization.Facts.positives)
           (List.length Realization.Facts.negatives)))
 

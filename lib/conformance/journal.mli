@@ -33,7 +33,7 @@ type entry =
 type writer
 (** Appends under a mutex, so pool workers can record concurrently. *)
 
-val fingerprint : seeds:int -> budget:string -> string
+val fingerprint : ?reduction:string -> seeds:int -> budget:string -> unit -> string
 (** Digest of the sweep configuration and the fact-base shape; journals
     written under a different fingerprint are ignored on load. *)
 

@@ -262,7 +262,12 @@ let negatives () =
 
 type negative_verdict = Confirmed | Skipped of string | Falsely_passed of string
 
-let check_negative ~config neg =
+let check_negative ?(reduction = Modelcheck.Reduce.No_reduction) ~config neg =
+  (* Separation checks replay the oscillation witness they find, and sym
+     witnesses are only valid up to relabeling (see Oscillation.analyze),
+     so a sym-reduced conformance run would report spurious drift. *)
+  if reduction = Modelcheck.Reduce.Sym then
+    invalid_arg "Conformance.Trial.check_negative: sym witnesses are not replayable";
   let f = neg.fact in
   match neg.check with
   | Refutation r -> (
@@ -292,7 +297,7 @@ let check_negative ~config neg =
            | Executor.Cycle _ -> true
            | _ -> false)
       | None -> (
-        match Modelcheck.Oscillation.analyze ~config s.inst s.oscillates_in with
+        match Modelcheck.Oscillation.analyze ~reduction ~config s.inst s.oscillates_in with
         | Modelcheck.Oscillation.Oscillates w ->
           Modelcheck.Oscillation.verify_witness s.inst s.oscillates_in w
         | _ -> false)
@@ -302,7 +307,7 @@ let check_negative ~config neg =
         (Fmt.str "lost the oscillation witness of %a on %s" Model.pp s.oscillates_in
            s.inst_name)
     else
-      match Modelcheck.Oscillation.analyze ~config s.inst f.Facts.non_realizer with
+      match Modelcheck.Oscillation.analyze ~reduction ~config s.inst f.Facts.non_realizer with
       | Modelcheck.Oscillation.Converges -> Confirmed
       | Modelcheck.Oscillation.Oscillates _ ->
         Falsely_passed

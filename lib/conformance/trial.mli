@@ -110,7 +110,15 @@ type negative_verdict =
       (** the engine found behavior the fact rules out — semantic drift *)
 
 val check_negative :
-  config:Modelcheck.Explore.config -> negative -> negative_verdict
+  ?reduction:Modelcheck.Reduce.t ->
+  config:Modelcheck.Explore.config ->
+  negative ->
+  negative_verdict
+(** [reduction] (default {!Modelcheck.Reduce.No_reduction}) is forwarded to
+    the separation checks' explorations; [Modelcheck.Reduce.Sym] raises
+    [Invalid_argument] because separation checks replay the oscillation
+    witness they find, and sym witnesses are only valid up to
+    relabeling. *)
 
 val negative_name : negative -> string
 val pp_negative_verdict : Format.formatter -> negative_verdict -> unit

@@ -8,12 +8,15 @@ type t = {
   edges : int Atomic.t;
   pruned_writes : int Atomic.t;
   truncated_interns : int Atomic.t;
+  ample_states : int Atomic.t;
+  canonicalized : int Atomic.t;
   steps : int Atomic.t;
   messages : int Atomic.t;
   peak_frontier : int Atomic.t;
   domains : int Atomic.t;
   mu : Mutex.t;
   mutable phases : (string * float) list; (* reverse order of completion *)
+  mutable downgrade : string option;
 }
 
 let create () =
@@ -23,12 +26,15 @@ let create () =
     edges = Atomic.make 0;
     pruned_writes = Atomic.make 0;
     truncated_interns = Atomic.make 0;
+    ample_states = Atomic.make 0;
+    canonicalized = Atomic.make 0;
     steps = Atomic.make 0;
     messages = Atomic.make 0;
     peak_frontier = Atomic.make 0;
     domains = Atomic.make 1;
     mu = Mutex.create ();
     phases = [];
+    downgrade = None;
   }
 
 let add counter n = ignore (Atomic.fetch_and_add counter n)
@@ -44,9 +50,22 @@ let add_interned t n = add t.states_interned n
 let add_dedup t n = add t.dedup_hits n
 let add_pruned t n = add t.pruned_writes n
 let add_truncated t n = add t.truncated_interns n
+let add_ample t n = add t.ample_states n
+let add_canonicalized t n = add t.canonicalized n
 let incr_steps t = add t.steps 1
 let add_messages t n = add t.messages n
 let set_domains t n = Atomic.set t.domains n
+
+let set_downgrade t reason =
+  Mutex.lock t.mu;
+  if t.downgrade = None then t.downgrade <- Some reason;
+  Mutex.unlock t.mu
+
+let downgrade t =
+  Mutex.lock t.mu;
+  let d = t.downgrade in
+  Mutex.unlock t.mu;
+  d
 
 let observe_frontier t n =
   let rec bump () =
@@ -60,6 +79,8 @@ let dedup_hits t = Atomic.get t.dedup_hits
 let edges t = Atomic.get t.edges
 let pruned_writes t = Atomic.get t.pruned_writes
 let truncated_interns t = Atomic.get t.truncated_interns
+let ample_states t = Atomic.get t.ample_states
+let canonicalized t = Atomic.get t.canonicalized
 let steps t = Atomic.get t.steps
 let messages t = Atomic.get t.messages
 let peak_frontier t = Atomic.get t.peak_frontier
@@ -319,6 +340,10 @@ let to_json t =
       ("edges", Json.Num (float_of_int (edges t)));
       ("pruned_writes", Json.Num (float_of_int (pruned_writes t)));
       ("truncated_interns", Json.Num (float_of_int (truncated_interns t)));
+      ("ample_states", Json.Num (float_of_int (ample_states t)));
+      ("canonicalized", Json.Num (float_of_int (canonicalized t)));
+      ( "downgrade",
+        match downgrade t with None -> Json.Null | Some r -> Json.Str r );
       ("steps", Json.Num (float_of_int (steps t)));
       ("messages", Json.Num (float_of_int (messages t)));
       ("peak_frontier", Json.Num (float_of_int (peak_frontier t)));

@@ -40,6 +40,21 @@ val add_truncated : t -> int -> unit
     join, instead of hammering (and false-sharing) the shared atomics from
     the hot path. *)
 
+val add_ample : t -> int -> unit
+(** States expanded with a proper ample subset of their enabled
+    activations (partial-order reduction engaged at that state). *)
+
+val add_canonicalized : t -> int -> unit
+(** Successor states replaced by a different orbit representative by
+    symmetry canonicalization. *)
+
+val set_downgrade : t -> string -> unit
+(** Record that the requested execution mode was downgraded (e.g. a
+    [DOMAINS]-driven parallel default forced sequential by
+    checkpoint/resume).  First write wins; later calls are ignored. *)
+
+val downgrade : t -> string option
+
 val observe_frontier : t -> int -> unit
 (** Record the current frontier size; keeps the maximum seen. *)
 
@@ -52,6 +67,8 @@ val dedup_hits : t -> int
 val edges : t -> int
 val pruned_writes : t -> int
 val truncated_interns : t -> int
+val ample_states : t -> int
+val canonicalized : t -> int
 val steps : t -> int
 val messages : t -> int
 val peak_frontier : t -> int

@@ -1,7 +1,8 @@
 open Spp
 module Json = Metrics.Json
 
-let magic = "commrouting/snapshot/v1"
+let magic = "commrouting/snapshot/v2"
+let chunk_magic = "commrouting/frontier/v1"
 
 type error =
   | Io of { path : string; message : string }
@@ -92,11 +93,14 @@ type counters = {
   pruned_writes : int;
   truncated_interns : int;
   peak_frontier : int;
+  ample : int;
+  canonicalized : int;
 }
 
 type t = {
   channel_bound : int;
   max_states : int;
+  reduction : string;
   states : State.t array;
   rows : (int * edge list) list;
   frontier : int list;
@@ -111,10 +115,72 @@ type t = {
    payload is independent of the process's arena numbering.  Edge labels
    repeat massively across rows (polling models enumerate the same handful
    of entries at every state), so they are hash-consed into a side table
-   keyed by their serialized form and rows reference them by index. *)
+   keyed by their serialized form and rows reference them by index.
+
+   The path table + state encoder pair is shared between full snapshots
+   and frontier chunks (the disk-spilled frontier's codec), so the two
+   formats can never drift apart. *)
 
 let num i = Json.Num (float_of_int i)
 let chan_json (c : Channel.id) = Json.List [ num c.Channel.src; num c.Channel.dst ]
+
+(* A fresh path table: [pid_of] interns route ids into it, [table_json]
+   renders it (index 0 is epsilon) — call only after every state has been
+   encoded. *)
+let make_path_table () =
+  let ptbl = Hashtbl.create 1024 in
+  Hashtbl.add ptbl Arena.epsilon 0;
+  let paths_rev = ref [] and n_paths = ref 1 in
+  let pid_of id =
+    match Hashtbl.find_opt ptbl id with
+    | Some i -> i
+    | None ->
+      let i = !n_paths in
+      incr n_paths;
+      Hashtbl.add ptbl id i;
+      paths_rev := Arena.to_nodes id :: !paths_rev;
+      i
+  in
+  let table_json () =
+    Json.List
+      (Json.List []
+      :: List.rev_map (fun nodes -> Json.List (List.map num nodes)) !paths_rev)
+  in
+  (pid_of, table_json)
+
+let state_json inst ~pid_of st =
+  let core get =
+    List.filter_map
+      (fun v ->
+        let p = get st v in
+        if Arena.is_epsilon p then None else Some (Json.List [ num v; num (pid_of p) ]))
+      (Instance.nodes inst)
+  in
+  let pi = core State.pi_id and ann = core State.announced_id in
+  let rho =
+    List.map
+      (fun ((c : Channel.id), p) ->
+        Json.List [ num c.Channel.src; num c.Channel.dst; num (pid_of p) ])
+      (State.rho_bindings_id st)
+  in
+  let chans =
+    List.map
+      (fun ((c : Channel.id), msgs) ->
+        Json.List
+          [
+            num c.Channel.src;
+            num c.Channel.dst;
+            Json.List (List.map (fun m -> num (pid_of m)) msgs);
+          ])
+      (Channel.bindings (State.channels st))
+  in
+  Json.Obj
+    [
+      ("pi", Json.List pi);
+      ("rho", Json.List rho);
+      ("ann", Json.List ann);
+      ("chans", Json.List chans);
+    ]
 
 let label_json l =
   Json.Obj
@@ -141,53 +207,7 @@ let label_json l =
     ]
 
 let to_payload inst t =
-  let ptbl = Hashtbl.create 1024 in
-  Hashtbl.add ptbl Arena.epsilon 0;
-  let paths_rev = ref [] and n_paths = ref 1 in
-  let pid_of id =
-    match Hashtbl.find_opt ptbl id with
-    | Some i -> i
-    | None ->
-      let i = !n_paths in
-      incr n_paths;
-      Hashtbl.add ptbl id i;
-      paths_rev := Arena.to_nodes id :: !paths_rev;
-      i
-  in
-  let state_json st =
-    let core get =
-      List.filter_map
-        (fun v ->
-          let p = get st v in
-          if Arena.is_epsilon p then None else Some (Json.List [ num v; num (pid_of p) ]))
-        (Instance.nodes inst)
-    in
-    let pi = core State.pi_id and ann = core State.announced_id in
-    let rho =
-      List.map
-        (fun ((c : Channel.id), p) ->
-          Json.List [ num c.Channel.src; num c.Channel.dst; num (pid_of p) ])
-        (State.rho_bindings_id st)
-    in
-    let chans =
-      List.map
-        (fun ((c : Channel.id), msgs) ->
-          Json.List
-            [
-              num c.Channel.src;
-              num c.Channel.dst;
-              Json.List (List.map (fun m -> num (pid_of m)) msgs);
-            ])
-        (Channel.bindings (State.channels st))
-    in
-    Json.Obj
-      [
-        ("pi", Json.List pi);
-        ("rho", Json.List rho);
-        ("ann", Json.List ann);
-        ("chans", Json.List chans);
-      ]
-  in
+  let pid_of, table_json = make_path_table () in
   let ltbl = Hashtbl.create 64 in
   let labels_rev = ref [] and n_labels = ref 0 in
   let lid_of l =
@@ -202,7 +222,9 @@ let to_payload inst t =
       labels_rev := j :: !labels_rev;
       i
   in
-  let states_j = Json.List (Array.to_list (Array.map state_json t.states)) in
+  let states_j =
+    Json.List (Array.to_list (Array.map (state_json inst ~pid_of) t.states))
+  in
   let rows_j =
     Json.List
       (List.map
@@ -220,22 +242,20 @@ let to_payload inst t =
         ("pruned_writes", num t.counters.pruned_writes);
         ("truncated_interns", num t.counters.truncated_interns);
         ("peak_frontier", num t.counters.peak_frontier);
+        ("ample", num t.counters.ample);
+        ("canonicalized", num t.counters.canonicalized);
       ]
   in
-  (* [paths]/[labels] are built by the encoders above, so they must be
-     assembled after [states_j] and [rows_j]. *)
-  let paths_j =
-    Json.List
-      (Json.List []
-      :: List.rev_map (fun nodes -> Json.List (List.map num nodes)) !paths_rev)
-  in
+  (* The path table is populated by the encoders above, so it must be
+     rendered after [states_j] and [rows_j]. *)
   Json.Obj
     [
       ("schema", Json.Str magic);
       ("instance", Json.Str (fingerprint inst));
       ("channel_bound", num t.channel_bound);
       ("max_states", num t.max_states);
-      ("paths", paths_j);
+      ("reduction", Json.Str t.reduction);
+      ("paths", table_json ());
       ("labels", Json.List (List.rev !labels_rev));
       ("states", states_j);
       ("rows", rows_j);
@@ -245,289 +265,343 @@ let to_payload inst t =
       ("counters", counters_j);
     ]
 
+let framed ~magic payload =
+  Printf.sprintf "%s %s %d\n" magic
+    (Digest.to_hex (Digest.string payload))
+    (String.length payload)
+  ^ payload
+
 let save ~path inst t =
-  let payload = Json.to_string (to_payload inst t) in
-  let header =
-    Printf.sprintf "%s %s %d\n" magic
-      (Digest.to_hex (Digest.string payload))
-      (String.length payload)
-  in
-  write_atomic path (header ^ payload)
+  write_atomic path (framed ~magic (Json.to_string (to_payload inst t)))
 
 (* ------------------------------------------------------------------ *)
 (* Decoding.  Every failure is a typed [Error] carrying the path and a
-   field context; nothing raises, nothing half-loads. *)
+   field context; nothing raises, nothing half-loads.  The helpers are
+   path-threaded top-level functions shared by the full-snapshot and
+   frontier-chunk decoders. *)
 
 let ( let* ) = Result.bind
 
-let decode path inst j =
-  let perr context message = Error (Parse { path; context; message }) in
-  let as_int ctx = function
-    | Json.Num f -> Ok (int_of_float f)
-    | _ -> perr ctx "expected a number"
-  in
-  let as_list ctx = function Json.List l -> Ok l | _ -> perr ctx "expected a list" in
-  let as_bool ctx = function Json.Bool b -> Ok b | _ -> perr ctx "expected a bool" in
-  let field ctx name j =
-    match Json.member name j with
-    | Some v -> Ok v
-    | None -> perr ctx (Printf.sprintf "missing field %S" name)
-  in
-  let int_field ctx name j =
-    let* v = field ctx name j in
-    as_int (ctx ^ "." ^ name) v
-  in
-  let list_field ctx name j =
-    let* v = field ctx name j in
-    as_list (ctx ^ "." ^ name) v
-  in
-  let bool_field ctx name j =
-    let* v = field ctx name j in
-    as_bool (ctx ^ "." ^ name) v
-  in
-  (* Tail-recursive indexed map: snapshots can hold 10^5 states. *)
-  let mapi_m ctx f l =
-    let rec go i acc = function
-      | [] -> Ok (List.rev acc)
-      | x :: rest -> (
-        match f (Printf.sprintf "%s[%d]" ctx i) x with
-        | Ok y -> go (i + 1) (y :: acc) rest
-        | Error _ as e -> e)
-    in
-    go 0 [] l
-  in
-  let n_nodes = Instance.size inst in
-  let node ctx v =
-    if v >= 0 && v < n_nodes then Ok v
-    else perr ctx (Printf.sprintf "node id %d out of range (instance has %d)" v n_nodes)
-  in
-  let chan ctx = function
-    | Json.List [ s; d ] ->
-      let* s = as_int ctx s in
-      let* d = as_int ctx d in
-      let* s = node ctx s in
-      let* d = node ctx d in
-      Ok (Channel.id ~src:s ~dst:d)
-    | _ -> perr ctx "expected a [src, dst] pair"
-  in
-  (* Instance guard before anything is interned or rebuilt. *)
-  let* got_fp = field "payload" "instance" j in
-  let* got_fp = match got_fp with Json.Str s -> Ok s | _ -> perr "instance" "expected a string" in
-  let want_fp = fingerprint inst in
-  if not (String.equal got_fp want_fp) then
-    Error (Mismatch { path; what = "instance fingerprint"; expected = want_fp; got = got_fp })
-  else
-    let* channel_bound = int_field "payload" "channel_bound" j in
-    let* max_states = int_field "payload" "max_states" j in
-    (* Path table: re-intern every node list into this process's arena. *)
-    let* paths_j = list_field "payload" "paths" j in
-    let* paths =
-      mapi_m "paths" (fun ctx pj ->
-          let* nodes = as_list ctx pj in
-          let* nodes = mapi_m ctx (fun c nj -> let* v = as_int c nj in node c v) nodes in
-          match nodes with
-          | [] -> Ok Arena.epsilon
-          | _ -> (
-            match Arena.of_nodes nodes with
-            | id -> Ok id
-            | exception Invalid_argument m -> perr ctx ("invalid path: " ^ m)))
-        paths_j
-    in
-    let paths = Array.of_list paths in
-    let n_paths = Array.length paths in
-    let pid ctx i =
-      if i >= 0 && i < n_paths then Ok paths.(i)
-      else perr ctx (Printf.sprintf "path index %d out of range (table has %d)" i n_paths)
-    in
-    if n_paths = 0 || not (Arena.is_epsilon paths.(0)) then
-      perr "paths[0]" "the first path-table entry must be epsilon"
-    else
-      (* Labels. *)
-      let* labels_j = list_field "payload" "labels" j in
-      let* labels =
-        mapi_m "labels" (fun ctx lj ->
-            let* active_j = list_field ctx "active" lj in
-            let* active =
-              mapi_m (ctx ^ ".active") (fun c vj -> let* v = as_int c vj in node c v) active_j
-            in
-            let* reads_j = list_field ctx "reads" lj in
-            let* reads =
-              mapi_m (ctx ^ ".reads")
-                (fun c rj ->
-                  match rj with
-                  | Json.List [ s; d; cnt; drops ] ->
-                    let* s = as_int c s in
-                    let* d = as_int c d in
-                    let* s = node c s in
-                    let* d = node c d in
-                    let* cnt = as_int c cnt in
-                    let* drops = as_list c drops in
-                    let* drops = mapi_m c (fun cc dj -> as_int cc dj) drops in
-                    let count =
-                      if cnt < 0 then Activation.All else Activation.Finite cnt
-                    in
-                    Ok (Activation.read ~drops ~count (Channel.id ~src:s ~dst:d))
-                  | _ -> perr c "expected [src, dst, count, drops]")
-                reads_j
-            in
-            let* er = list_field ctx "er" lj in
-            let* l_reads = mapi_m (ctx ^ ".er") chan er in
-            let* ed = list_field ctx "ed" lj in
-            let* l_drops = mapi_m (ctx ^ ".ed") chan ed in
-            let* ec = list_field ctx "ec" lj in
-            let* l_cleans = mapi_m (ctx ^ ".ec") chan ec in
-            match Activation.entry ~active ~reads with
-            | entry -> Ok { entry; l_reads; l_drops; l_cleans }
-            | exception Invalid_argument m -> perr ctx ("invalid entry: " ^ m))
-          labels_j
-      in
-      let labels = Array.of_list labels in
-      let n_labels = Array.length labels in
-      (* States, rebuilt through the public State API so digests and
-         occupancy caches are recomputed in this process. *)
-      let* states_j = list_field "payload" "states" j in
-      let* states =
-        mapi_m "states" (fun ctx sj ->
-            let binding what bj =
-              match bj with
-              | Json.List [ v; p ] ->
-                let* v = as_int what v in
-                let* v = node what v in
-                let* p = as_int what p in
-                let* p = pid what p in
-                Ok (v, p)
-              | _ -> perr what "expected a [node, path] pair"
-            in
-            let* pi_j = list_field ctx "pi" sj in
-            let* pi = mapi_m (ctx ^ ".pi") binding pi_j in
-            let* ann_j = list_field ctx "ann" sj in
-            let* ann = mapi_m (ctx ^ ".ann") binding ann_j in
-            let* rho_j = list_field ctx "rho" sj in
-            let* rho =
-              mapi_m (ctx ^ ".rho")
-                (fun c rj ->
-                  match rj with
-                  | Json.List [ s; d; p ] ->
-                    let* s = as_int c s in
-                    let* d = as_int c d in
-                    let* s = node c s in
-                    let* d = node c d in
-                    let* p = as_int c p in
-                    let* p = pid c p in
-                    Ok (Channel.id ~src:s ~dst:d, p)
-                  | _ -> perr c "expected a [src, dst, path] triple")
-                rho_j
-            in
-            let* chans_j = list_field ctx "chans" sj in
-            let* chans =
-              mapi_m (ctx ^ ".chans")
-                (fun c cj ->
-                  match cj with
-                  | Json.List [ s; d; Json.List msgs ] ->
-                    let* s = as_int c s in
-                    let* d = as_int c d in
-                    let* s = node c s in
-                    let* d = node c d in
-                    let* msgs = mapi_m c (fun cc mj -> let* m = as_int cc mj in pid cc m) msgs in
-                    if msgs = [] then perr c "empty channel queue must not be stored"
-                    else Ok (Channel.id ~src:s ~dst:d, msgs)
-                  | _ -> perr c "expected [src, dst, [messages]]")
-                chans_j
-            in
-            let s0 = State.initial inst in
-            let s0 = State.with_pi_id s0 (Instance.dest inst) Arena.epsilon in
-            let s = List.fold_left (fun s (v, p) -> State.with_pi_id s v p) s0 pi in
-            let s = List.fold_left (fun s (c, p) -> State.with_rho_id s c p) s rho in
-            let s = List.fold_left (fun s (v, p) -> State.with_announced_id s v p) s ann in
-            let chmap =
-              List.fold_left
-                (fun m (c, msgs) -> List.fold_left (fun m p -> Channel.push m c p) m msgs)
-                Channel.empty chans
-            in
-            Ok (State.with_channels s chmap))
-          states_j
-      in
-      let states = Array.of_list states in
-      let n_states = Array.length states in
-      let state_id ctx i =
-        if i >= 0 && i < n_states then Ok i
-        else
-          perr ctx (Printf.sprintf "state id %d out of range (snapshot has %d)" i n_states)
-      in
-      (* Rows: flat [i, dst0, label0, dst1, label1, ...]. *)
-      let* rows_j = list_field "payload" "rows" j in
-      let* rows =
-        mapi_m "rows" (fun ctx rj ->
-            let* flat = as_list ctx rj in
-            let* flat = mapi_m ctx as_int flat in
-            match flat with
-            | [] -> perr ctx "empty row"
-            | i :: rest ->
-              let* i = state_id ctx i in
-              let rec edges acc = function
-                | [] -> Ok (List.rev acc)
-                | [ _ ] -> perr ctx "odd number of edge fields"
-                | d :: l :: rest ->
-                  if l < 0 || l >= n_labels then
-                    perr ctx
-                      (Printf.sprintf "label index %d out of range (table has %d)" l
-                         n_labels)
-                  else
-                    let* d = state_id ctx d in
-                    edges ({ dst = d; label = labels.(l) } :: acc) rest
-              in
-              let* es = edges [] rest in
-              Ok (i, es))
-          rows_j
-      in
-      let* frontier_j = list_field "payload" "frontier" j in
-      let* frontier =
-        mapi_m "frontier" (fun ctx fj -> let* i = as_int ctx fj in state_id ctx i) frontier_j
-      in
-      (* Progress invariant: every interned state is either expanded (has an
-         adjacency row) or still queued, never both, never neither — a
-         snapshot violating it would resume into a graph with silently
-         missing rows. *)
-      let seen = Array.make n_states 0 in
-      List.iter (fun (i, _) -> seen.(i) <- seen.(i) + 1) rows;
-      List.iter (fun i -> seen.(i) <- seen.(i) + 1) frontier;
-      let bad = ref None in
-      Array.iteri (fun i c -> if c <> 1 && !bad = None then bad := Some (i, c)) seen;
-      (match !bad with
-      | Some (i, c) ->
-        perr "rows"
-          (Printf.sprintf "state %d appears %d times across rows + frontier (want 1)" i c)
-      | None ->
-        let* pruned = bool_field "payload" "pruned" j in
-        let* truncated = bool_field "payload" "truncated" j in
-        let* cj = field "payload" "counters" j in
-        let* interned = int_field "counters" "interned" cj in
-        let* dedup = int_field "counters" "dedup" cj in
-        let* edges = int_field "counters" "edges" cj in
-        let* pruned_writes = int_field "counters" "pruned_writes" cj in
-        let* truncated_interns = int_field "counters" "truncated_interns" cj in
-        let* peak_frontier = int_field "counters" "peak_frontier" cj in
-        Ok
-          {
-            channel_bound;
-            max_states;
-            states;
-            rows;
-            frontier;
-            pruned;
-            truncated;
-            counters =
-              {
-                interned;
-                dedup;
-                edges;
-                pruned_writes;
-                truncated_interns;
-                peak_frontier;
-              };
-          })
+let perr ~path context message = Error (Parse { path; context; message })
 
-let load ~path inst =
+let as_int ~path ctx = function
+  | Json.Num f -> Ok (int_of_float f)
+  | _ -> perr ~path ctx "expected a number"
+
+let as_list ~path ctx = function
+  | Json.List l -> Ok l
+  | _ -> perr ~path ctx "expected a list"
+
+let as_bool ~path ctx = function
+  | Json.Bool b -> Ok b
+  | _ -> perr ~path ctx "expected a bool"
+
+let as_str ~path ctx = function
+  | Json.Str s -> Ok s
+  | _ -> perr ~path ctx "expected a string"
+
+let field ~path ctx name j =
+  match Json.member name j with
+  | Some v -> Ok v
+  | None -> perr ~path ctx (Printf.sprintf "missing field %S" name)
+
+let int_field ~path ctx name j =
+  let* v = field ~path ctx name j in
+  as_int ~path (ctx ^ "." ^ name) v
+
+let list_field ~path ctx name j =
+  let* v = field ~path ctx name j in
+  as_list ~path (ctx ^ "." ^ name) v
+
+let bool_field ~path ctx name j =
+  let* v = field ~path ctx name j in
+  as_bool ~path (ctx ^ "." ^ name) v
+
+let str_field ~path ctx name j =
+  let* v = field ~path ctx name j in
+  as_str ~path (ctx ^ "." ^ name) v
+
+(* Tail-recursive indexed map: snapshots can hold 10^5 states. *)
+let mapi_m ctx f l =
+  let rec go i acc = function
+    | [] -> Ok (List.rev acc)
+    | x :: rest -> (
+      match f (Printf.sprintf "%s[%d]" ctx i) x with
+      | Ok y -> go (i + 1) (y :: acc) rest
+      | Error _ as e -> e)
+  in
+  go 0 [] l
+
+let decode_node ~path ~inst ctx v =
+  let n_nodes = Instance.size inst in
+  if v >= 0 && v < n_nodes then Ok v
+  else
+    perr ~path ctx (Printf.sprintf "node id %d out of range (instance has %d)" v n_nodes)
+
+let decode_chan ~path ~inst ctx = function
+  | Json.List [ s; d ] ->
+    let* s = as_int ~path ctx s in
+    let* d = as_int ~path ctx d in
+    let* s = decode_node ~path ~inst ctx s in
+    let* d = decode_node ~path ~inst ctx d in
+    Ok (Channel.id ~src:s ~dst:d)
+  | _ -> perr ~path ctx "expected a [src, dst] pair"
+
+(* Instance guard: nothing is interned or rebuilt before the fingerprint
+   matches. *)
+let check_instance ~path ~inst j =
+  let* got_fp = str_field ~path "payload" "instance" j in
+  let want_fp = fingerprint inst in
+  if String.equal got_fp want_fp then Ok ()
+  else
+    Error
+      (Mismatch { path; what = "instance fingerprint"; expected = want_fp; got = got_fp })
+
+(* Path table: re-intern every node list into this process's arena.
+   Returns a lookup checked against the table bounds. *)
+let decode_path_table ~path ~inst j =
+  let* paths_j = list_field ~path "payload" "paths" j in
+  let* paths =
+    mapi_m "paths" (fun ctx pj ->
+        let* nodes = as_list ~path ctx pj in
+        let* nodes =
+          mapi_m ctx
+            (fun c nj ->
+              let* v = as_int ~path c nj in
+              decode_node ~path ~inst c v)
+            nodes
+        in
+        match nodes with
+        | [] -> Ok Arena.epsilon
+        | _ -> (
+          match Arena.of_nodes nodes with
+          | id -> Ok id
+          | exception Invalid_argument m -> perr ~path ctx ("invalid path: " ^ m)))
+      paths_j
+  in
+  let paths = Array.of_list paths in
+  let n_paths = Array.length paths in
+  if n_paths = 0 || not (Arena.is_epsilon paths.(0)) then
+    perr ~path "paths[0]" "the first path-table entry must be epsilon"
+  else
+    Ok
+      (fun ctx i ->
+        if i >= 0 && i < n_paths then Ok paths.(i)
+        else
+          perr ~path ctx
+            (Printf.sprintf "path index %d out of range (table has %d)" i n_paths))
+
+(* One state, rebuilt through the public State API so digests and
+   occupancy caches are recomputed in this process. *)
+let decode_state ~path ~inst ~pid ctx sj =
+  let binding what bj =
+    match bj with
+    | Json.List [ v; p ] ->
+      let* v = as_int ~path what v in
+      let* v = decode_node ~path ~inst what v in
+      let* p = as_int ~path what p in
+      let* p = pid what p in
+      Ok (v, p)
+    | _ -> perr ~path what "expected a [node, path] pair"
+  in
+  let* pi_j = list_field ~path ctx "pi" sj in
+  let* pi = mapi_m (ctx ^ ".pi") binding pi_j in
+  let* ann_j = list_field ~path ctx "ann" sj in
+  let* ann = mapi_m (ctx ^ ".ann") binding ann_j in
+  let* rho_j = list_field ~path ctx "rho" sj in
+  let* rho =
+    mapi_m (ctx ^ ".rho")
+      (fun c rj ->
+        match rj with
+        | Json.List [ s; d; p ] ->
+          let* s = as_int ~path c s in
+          let* d = as_int ~path c d in
+          let* s = decode_node ~path ~inst c s in
+          let* d = decode_node ~path ~inst c d in
+          let* p = as_int ~path c p in
+          let* p = pid c p in
+          Ok (Channel.id ~src:s ~dst:d, p)
+        | _ -> perr ~path c "expected a [src, dst, path] triple")
+      rho_j
+  in
+  let* chans_j = list_field ~path ctx "chans" sj in
+  let* chans =
+    mapi_m (ctx ^ ".chans")
+      (fun c cj ->
+        match cj with
+        | Json.List [ s; d; Json.List msgs ] ->
+          let* s = as_int ~path c s in
+          let* d = as_int ~path c d in
+          let* s = decode_node ~path ~inst c s in
+          let* d = decode_node ~path ~inst c d in
+          let* msgs =
+            mapi_m c
+              (fun cc mj ->
+                let* m = as_int ~path cc mj in
+                pid cc m)
+              msgs
+          in
+          if msgs = [] then perr ~path c "empty channel queue must not be stored"
+          else Ok (Channel.id ~src:s ~dst:d, msgs)
+        | _ -> perr ~path c "expected [src, dst, [messages]]")
+      chans_j
+  in
+  let s0 = State.initial inst in
+  let s0 = State.with_pi_id s0 (Instance.dest inst) Arena.epsilon in
+  let s = List.fold_left (fun s (v, p) -> State.with_pi_id s v p) s0 pi in
+  let s = List.fold_left (fun s (c, p) -> State.with_rho_id s c p) s rho in
+  let s = List.fold_left (fun s (v, p) -> State.with_announced_id s v p) s ann in
+  let chmap =
+    List.fold_left
+      (fun m (c, msgs) -> List.fold_left (fun m p -> Channel.push m c p) m msgs)
+      Channel.empty chans
+  in
+  Ok (State.with_channels s chmap)
+
+let decode path inst j =
+  let* () = check_instance ~path ~inst j in
+  let* channel_bound = int_field ~path "payload" "channel_bound" j in
+  let* max_states = int_field ~path "payload" "max_states" j in
+  let* reduction = str_field ~path "payload" "reduction" j in
+  let* pid = decode_path_table ~path ~inst j in
+  (* Labels. *)
+  let* labels_j = list_field ~path "payload" "labels" j in
+  let* labels =
+    mapi_m "labels" (fun ctx lj ->
+        let* active_j = list_field ~path ctx "active" lj in
+        let* active =
+          mapi_m (ctx ^ ".active")
+            (fun c vj ->
+              let* v = as_int ~path c vj in
+              decode_node ~path ~inst c v)
+            active_j
+        in
+        let* reads_j = list_field ~path ctx "reads" lj in
+        let* reads =
+          mapi_m (ctx ^ ".reads")
+            (fun c rj ->
+              match rj with
+              | Json.List [ s; d; cnt; drops ] ->
+                let* s = as_int ~path c s in
+                let* d = as_int ~path c d in
+                let* s = decode_node ~path ~inst c s in
+                let* d = decode_node ~path ~inst c d in
+                let* cnt = as_int ~path c cnt in
+                let* drops = as_list ~path c drops in
+                let* drops = mapi_m c (fun cc dj -> as_int ~path cc dj) drops in
+                let count = if cnt < 0 then Activation.All else Activation.Finite cnt in
+                Ok (Activation.read ~drops ~count (Channel.id ~src:s ~dst:d))
+              | _ -> perr ~path c "expected [src, dst, count, drops]")
+            reads_j
+        in
+        let* er = list_field ~path ctx "er" lj in
+        let* l_reads = mapi_m (ctx ^ ".er") (decode_chan ~path ~inst) er in
+        let* ed = list_field ~path ctx "ed" lj in
+        let* l_drops = mapi_m (ctx ^ ".ed") (decode_chan ~path ~inst) ed in
+        let* ec = list_field ~path ctx "ec" lj in
+        let* l_cleans = mapi_m (ctx ^ ".ec") (decode_chan ~path ~inst) ec in
+        match Activation.entry ~active ~reads with
+        | entry -> Ok { entry; l_reads; l_drops; l_cleans }
+        | exception Invalid_argument m -> perr ~path ctx ("invalid entry: " ^ m))
+      labels_j
+  in
+  let labels = Array.of_list labels in
+  let n_labels = Array.length labels in
+  let* states_j = list_field ~path "payload" "states" j in
+  let* states = mapi_m "states" (decode_state ~path ~inst ~pid) states_j in
+  let states = Array.of_list states in
+  let n_states = Array.length states in
+  let state_id ctx i =
+    if i >= 0 && i < n_states then Ok i
+    else
+      perr ~path ctx
+        (Printf.sprintf "state id %d out of range (snapshot has %d)" i n_states)
+  in
+  (* Rows: flat [i, dst0, label0, dst1, label1, ...]. *)
+  let* rows_j = list_field ~path "payload" "rows" j in
+  let* rows =
+    mapi_m "rows" (fun ctx rj ->
+        let* flat = as_list ~path ctx rj in
+        let* flat = mapi_m ctx (fun c fj -> as_int ~path c fj) flat in
+        match flat with
+        | [] -> perr ~path ctx "empty row"
+        | i :: rest ->
+          let* i = state_id ctx i in
+          let rec edges acc = function
+            | [] -> Ok (List.rev acc)
+            | [ _ ] -> perr ~path ctx "odd number of edge fields"
+            | d :: l :: rest ->
+              if l < 0 || l >= n_labels then
+                perr ~path ctx
+                  (Printf.sprintf "label index %d out of range (table has %d)" l n_labels)
+              else
+                let* d = state_id ctx d in
+                edges ({ dst = d; label = labels.(l) } :: acc) rest
+          in
+          let* es = edges [] rest in
+          Ok (i, es))
+      rows_j
+  in
+  let* frontier_j = list_field ~path "payload" "frontier" j in
+  let* frontier =
+    mapi_m "frontier"
+      (fun ctx fj ->
+        let* i = as_int ~path ctx fj in
+        state_id ctx i)
+      frontier_j
+  in
+  (* Progress invariant: every interned state is either expanded (has an
+     adjacency row) or still queued, never both, never neither — a
+     snapshot violating it would resume into a graph with silently
+     missing rows. *)
+  let seen = Array.make n_states 0 in
+  List.iter (fun (i, _) -> seen.(i) <- seen.(i) + 1) rows;
+  List.iter (fun i -> seen.(i) <- seen.(i) + 1) frontier;
+  let bad = ref None in
+  Array.iteri (fun i c -> if c <> 1 && !bad = None then bad := Some (i, c)) seen;
+  match !bad with
+  | Some (i, c) ->
+    perr ~path "rows"
+      (Printf.sprintf "state %d appears %d times across rows + frontier (want 1)" i c)
+  | None ->
+    let* pruned = bool_field ~path "payload" "pruned" j in
+    let* truncated = bool_field ~path "payload" "truncated" j in
+    let* cj = field ~path "payload" "counters" j in
+    let* interned = int_field ~path "counters" "interned" cj in
+    let* dedup = int_field ~path "counters" "dedup" cj in
+    let* edges = int_field ~path "counters" "edges" cj in
+    let* pruned_writes = int_field ~path "counters" "pruned_writes" cj in
+    let* truncated_interns = int_field ~path "counters" "truncated_interns" cj in
+    let* peak_frontier = int_field ~path "counters" "peak_frontier" cj in
+    let* ample = int_field ~path "counters" "ample" cj in
+    let* canonicalized = int_field ~path "counters" "canonicalized" cj in
+    Ok
+      {
+        channel_bound;
+        max_states;
+        reduction;
+        states;
+        rows;
+        frontier;
+        pruned;
+        truncated;
+        counters =
+          {
+            interned;
+            dedup;
+            edges;
+            pruned_writes;
+            truncated_interns;
+            peak_frontier;
+            ample;
+            canonicalized;
+          };
+      }
+
+(* Read a framed file: verify magic, payload length, checksum; return the
+   raw payload.  Shared by snapshots and frontier chunks (each with its
+   own magic). *)
+let read_framed ~magic path =
   let* raw =
     match In_channel.with_open_bin path In_channel.input_all with
     | s -> Ok s
@@ -554,14 +628,60 @@ let load ~path inst =
   else if not (String.equal (Digest.to_hex (Digest.string payload)) md5) then
     Error (Checksum_mismatch { path })
   else
-    let* j =
-      match Json.parse payload with
-      | Ok j -> Ok j
-      | Error m -> Error (Parse { path; context = "json"; message = m })
-    in
-    match decode path inst j with
-    | (Ok _ | Error _) as r -> r
-    | exception e ->
-      (* Belt and braces: the decoder is total by construction, but a load
-         must never raise. *)
-      Error (Parse { path; context = "payload"; message = Printexc.to_string e })
+    match Json.parse payload with
+    | Ok j -> Ok j
+    | Error m -> Error (Parse { path; context = "json"; message = m })
+
+let load ~path inst =
+  let* j = read_framed ~magic path in
+  match decode path inst j with
+  | (Ok _ | Error _) as r -> r
+  | exception e ->
+    (* Belt and braces: the decoder is total by construction, but a load
+       must never raise. *)
+    Error (Parse { path; context = "payload"; message = Printexc.to_string e })
+
+(* ------------------------------------------------------------------ *)
+(* Frontier chunks: the disk-spilled frontier's on-disk unit.  Same path
+   table + state codec and the same framed, checksummed layout as full
+   snapshots, holding an ordered list of (state id, state) queue items. *)
+
+let save_chunk ~path inst items =
+  let pid_of, table_json = make_path_table () in
+  let items_j =
+    List.map (fun (i, st) -> Json.List [ num i; state_json inst ~pid_of st ]) items
+  in
+  let payload =
+    Json.to_string
+      (Json.Obj
+         [
+           ("schema", Json.Str chunk_magic);
+           ("instance", Json.Str (fingerprint inst));
+           ("items", Json.List items_j);
+           (* rendered after [items_j], which populates it *)
+           ("paths", table_json ());
+         ])
+  in
+  write_atomic path (framed ~magic:chunk_magic payload)
+
+let load_chunk ~path inst =
+  let decode_items j =
+    let* () = check_instance ~path ~inst j in
+    let* pid = decode_path_table ~path ~inst j in
+    let* items_j = list_field ~path "payload" "items" j in
+    mapi_m "items"
+      (fun ctx ij ->
+        match ij with
+        | Json.List [ i; sj ] ->
+          let* i = as_int ~path ctx i in
+          if i < 0 then perr ~path ctx "negative state id"
+          else
+            let* st = decode_state ~path ~inst ~pid ctx sj in
+            Ok (i, st)
+        | _ -> perr ~path ctx "expected an [id, state] pair")
+      items_j
+  in
+  let* j = read_framed ~magic:chunk_magic path in
+  match decode_items j with
+  | (Ok _ | Error _) as r -> r
+  | exception e -> Error (Parse { path; context = "payload"; message = Printexc.to_string e })

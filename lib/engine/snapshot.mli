@@ -20,15 +20,18 @@
     snapshot against a different instance is a typed error, not silent
     corruption.
 
-    File layout (schema ["commrouting/snapshot/v1"], documented in
+    File layout (schema ["commrouting/snapshot/v2"], documented in
     EXPERIMENTS.md): one header line [<magic> <md5-hex> <payload-bytes>]
     followed by the JSON payload.  The loader verifies length and
     checksum before parsing, so truncation and bit-rot are rejected with
     a typed {!error} — never an [assert]/[failwith], never a half-loaded
-    value. *)
+    value.  v2 additionally records which state-space reduction produced
+    the graph (resuming under a different reduction must be refused — the
+    reduced graph is not a prefix of the unreduced one) and the
+    reduction counters. *)
 
 val magic : string
-(** ["commrouting/snapshot/v1"]. *)
+(** ["commrouting/snapshot/v2"]. *)
 
 (** Why a checkpoint failed to load.  Every constructor carries the file
     path, so the offending artifact is identifiable from the rendered
@@ -84,6 +87,8 @@ type counters = {
   pruned_writes : int;
   truncated_interns : int;
   peak_frontier : int;
+  ample : int;  (** states expanded through a proper ample subset (POR) *)
+  canonicalized : int;  (** interns rewritten to an orbit representative *)
 }
 (** The {!Metrics} counters accumulated by the exploration so far; restored
     into the resuming run's metrics so a resumed artifact is
@@ -92,6 +97,10 @@ type counters = {
 type t = {
   channel_bound : int;
   max_states : int;  (** the {!Modelcheck.Explore.config} in effect *)
+  reduction : string;
+      (** the {!Modelcheck.Reduce.t} that produced the graph, as its
+          [to_string] form ("none", "por", "sym"); resuming under a
+          different reduction is refused by the explorer *)
   states : State.t array;  (** every interned state, index = state id *)
   rows : (int * edge list) list;
       (** adjacency rows of the states expanded so far, newest first *)
@@ -111,3 +120,23 @@ val load : path:string -> Spp.Instance.t -> (t, error) result
     current process.  Total: any byte prefix or corruption of a valid
     file, and any well-formed snapshot of a different instance, is an
     [Error]; no exception escapes. *)
+
+(** {1 Frontier chunks}
+
+    The on-disk unit of {!Modelcheck.Explore}'s disk-spilled frontier: an
+    ordered run of (state id, state) queue items, framed and checksummed
+    exactly like a snapshot (own magic ["commrouting/frontier/v1"]) and
+    sharing its path-table + state codec, so the two formats cannot
+    drift. *)
+
+val chunk_magic : string
+(** ["commrouting/frontier/v1"]. *)
+
+val save_chunk : path:string -> Spp.Instance.t -> (int * State.t) list -> unit
+(** Atomically write one frontier chunk.  Raises [Sys_error] on I/O
+    failure. *)
+
+val load_chunk :
+  path:string -> Spp.Instance.t -> ((int * State.t) list, error) result
+(** Load a chunk written by {!save_chunk}, preserving item order.  Total,
+    like {!load}. *)

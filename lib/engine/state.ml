@@ -157,6 +157,13 @@ let drop_first_channel t c i =
       in
       { t with chans; dig_chans; max_occ }
 
+(* Every mutator above either leaves [chans] untouched (max_occ carried
+   over), recomputes from scratch ([with_channels]), or maintains the cache
+   incrementally with a rescan on the only lowering case
+   ([drop_first_channel] of a longest queue).  The test suite pins this
+   audit with [debug_occupancy_ok] across random mutator sequences. *)
+let debug_occupancy_ok t = t.max_occ = Channel.max_occupancy t.chans
+
 (* The route the node would choose right now: one O(1) permitted-extension
    lookup per neighbor (Instance.ext_tbl), no interning, no list scans. *)
 let best_choice_id inst t v =

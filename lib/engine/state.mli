@@ -60,6 +60,13 @@ val max_occupancy : t -> int
     [Channel.max_occupancy (channels t)]; both explorers consult it on
     every generated successor (the channel-bound prune check). *)
 
+val debug_occupancy_ok : t -> bool
+(** [max_occupancy t] agrees with a from-scratch recomputation over
+    [channels t].  A debug assertion for the test suite: every mutator
+    (including surgery transplants and the reduction canonicalization
+    paths, which all funnel through [with_channels]) must keep the cache
+    exact. *)
+
 val best_choice : Spp.Instance.t -> t -> Spp.Path.node -> Spp.Path.t
 (** The route the node would choose right now (step 3 of Def. 2.3): the most
     preferred permitted extension of its known routes ρ; the trivial path at

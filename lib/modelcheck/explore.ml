@@ -112,6 +112,96 @@ let tick metrics f = match metrics with Some m -> f m | None -> ()
 
 type checkpoint = { path : string; every : int }
 
+type frontier_spill = { dir : string; chunk : int }
+
+(* Disk-spilled BFS frontier: a FIFO whose middle lives on disk as
+   checksummed {!Engine.Snapshot} frontier chunks.  Pops come from [head]
+   (refilled from the oldest chunk when dry), pushes go to [tail] (flushed
+   to a new chunk when it outgrows the chunk size), so the pop order is
+   exactly the plain queue's and the spilled explorer's graph is
+   bit-identical to the in-memory one.  Only the two end queues (at most
+   ~2 chunks of states) are resident; note the intern table still holds
+   every state, so the spill bounds the *frontier's* extra copy, not total
+   memory — see EXPERIMENTS.md for the honest scope. *)
+module Spool = struct
+  type t = {
+    dir : string;
+    chunk : int;
+    inst : Spp.Instance.t;
+    head : (int * State.t) Queue.t;
+    tail : (int * State.t) Queue.t;
+    mutable chunks : string list; (* oldest first *)
+    mutable next_chunk : int;
+    mutable count : int;
+  }
+
+  (* mkdir -p: spill directories are routinely given as fresh nested paths
+     (one subdirectory per case under a scratch root). *)
+  let rec mkdir_p dir =
+    match Unix.mkdir dir 0o755 with
+    | () -> ()
+    | exception Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+    | exception Unix.Unix_error (Unix.ENOENT, _, _) ->
+      let parent = Filename.dirname dir in
+      if parent = dir then raise (Unix.Unix_error (Unix.ENOENT, "mkdir", dir))
+      else begin
+        mkdir_p parent;
+        mkdir_p dir
+      end
+
+  let create ~dir ~chunk inst =
+    if chunk < 1 then invalid_arg "Explore: frontier_spill chunk must be >= 1";
+    mkdir_p dir;
+    {
+      dir;
+      chunk;
+      inst;
+      head = Queue.create ();
+      tail = Queue.create ();
+      chunks = [];
+      next_chunk = 0;
+      count = 0;
+    }
+
+  let length t = t.count
+
+  let push t item =
+    Queue.add item t.tail;
+    t.count <- t.count + 1;
+    if Queue.length t.tail >= t.chunk then begin
+      let path =
+        Filename.concat t.dir
+          (Printf.sprintf "frontier.%d.%06d.chunk" (Unix.getpid ()) t.next_chunk)
+      in
+      t.next_chunk <- t.next_chunk + 1;
+      Snapshot.save_chunk ~path t.inst
+        (List.rev (Queue.fold (fun acc x -> x :: acc) [] t.tail));
+      Queue.clear t.tail;
+      t.chunks <- t.chunks @ [ path ]
+    end
+
+  let pop t =
+    if Queue.is_empty t.head then begin
+      match t.chunks with
+      | path :: rest -> (
+        t.chunks <- rest;
+        match Snapshot.load_chunk ~path t.inst with
+        | Ok items ->
+          Sys.remove path;
+          List.iter (fun x -> Queue.add x t.head) items
+        | Error e ->
+          failwith
+            ("Explore: corrupt frontier chunk: " ^ Snapshot.error_to_string e))
+      | [] -> ()
+    end;
+    let q = if Queue.is_empty t.head then t.tail else t.head in
+    match Queue.take_opt q with
+    | Some item ->
+      t.count <- t.count - 1;
+      Some item
+    | None -> None
+end
+
 let snap_edge (e : edge) =
   {
     Snapshot.dst = e.dst;
@@ -148,19 +238,38 @@ let unsnap_edge (e : Snapshot.edge) =
    exploration's own exact totals even when the caller threads one metrics
    value through several phases. *)
 
-let explore_seq ~config ?metrics ?checkpoint ?resume inst ~successors ~collapse =
+let explore_seq ~config ~reduction ?metrics ?checkpoint ?frontier ?resume inst
+    ~successors ~collapse =
   let max_states = max 1 config.max_states in
   let index = StateTbl.create 1024 in
   let states = ref [] and n_states = ref 0 in
   let adjacency = ref [] in
   let pruned = ref false and truncated = ref false in
   let queue = Queue.create () in
+  let spool =
+    match frontier with
+    | None -> None
+    | Some { dir; chunk } -> Some (Spool.create ~dir ~chunk inst)
+  in
+  let fpush, fpop, flen =
+    match spool with
+    | None ->
+      ( (fun x -> Queue.add x queue),
+        (fun () -> Queue.take_opt queue),
+        fun () -> Queue.length queue )
+    | Some sp -> ((Spool.push sp), (fun () -> Spool.pop sp), fun () -> Spool.length sp)
+  in
+  let por = reduction = Reduce.Por in
+  let sym = reduction = Reduce.Sym in
+  let canon = if sym then Reduce.canonicalizer inst else Fun.id in
   let c_interned = ref 0
   and c_dedup = ref 0
   and c_edges = ref 0
   and c_pruned = ref 0
   and c_trunc = ref 0
-  and c_peak = ref 0 in
+  and c_peak = ref 0
+  and c_ample = ref 0
+  and c_canon = ref 0 in
   let intern st =
     match StateTbl.find_opt index st with
     | Some i ->
@@ -191,6 +300,15 @@ let explore_seq ~config ?metrics ?checkpoint ?resume inst ~successors ~collapse 
       invalid_arg
         (Printf.sprintf "Explore: resume snapshot has max_states %d, config wants %d"
            snap.Snapshot.max_states config.max_states);
+    (* A reduced graph is not a prefix of an unreduced one (nor of a
+       differently-reduced one), so resuming under another reduction
+       would silently weld two incompatible explorations together. *)
+    if snap.Snapshot.reduction <> Reduce.to_string reduction then
+      invalid_arg
+        (Printf.sprintf
+           "Explore: resume snapshot was written under reduction %s, run requests %s"
+           snap.Snapshot.reduction
+           (Reduce.to_string reduction));
     Array.iteri
       (fun i st ->
         StateTbl.add index st i;
@@ -207,16 +325,19 @@ let explore_seq ~config ?metrics ?checkpoint ?resume inst ~successors ~collapse 
     c_edges := snap.Snapshot.counters.Snapshot.edges;
     c_pruned := snap.Snapshot.counters.Snapshot.pruned_writes;
     c_trunc := snap.Snapshot.counters.Snapshot.truncated_interns;
-    c_peak := snap.Snapshot.counters.Snapshot.peak_frontier
+    c_peak := snap.Snapshot.counters.Snapshot.peak_frontier;
+    c_ample := snap.Snapshot.counters.Snapshot.ample;
+    c_canon := snap.Snapshot.counters.Snapshot.canonicalized
   | None ->
-    let init = State.initial inst in
+    let init = canon (State.initial inst) in
     (match intern init with Some _ -> () | None -> assert false);
-    Queue.add (0, init) queue);
+    fpush (0, init));
   let write_checkpoint path =
     Snapshot.save ~path inst
       {
         Snapshot.channel_bound = config.channel_bound;
         max_states = config.max_states;
+        reduction = Reduce.to_string reduction;
         states = Array.of_list (List.rev !states);
         rows = List.map (fun (i, es) -> (i, List.map snap_edge es)) !adjacency;
         frontier = List.rev (Queue.fold (fun acc (i, _) -> i :: acc) [] queue);
@@ -230,42 +351,68 @@ let explore_seq ~config ?metrics ?checkpoint ?resume inst ~successors ~collapse 
             pruned_writes = !c_pruned;
             truncated_interns = !c_trunc;
             peak_frontier = !c_peak;
+            ample = !c_ample;
+            canonicalized = !c_canon;
           };
       }
   in
   let since_checkpoint = ref 0 in
-  while not (Queue.is_empty queue) do
-    let i, st = Queue.pop queue in
-    let edges =
-      List.filter_map
-        (fun (labeled : Enumerate.labeled) ->
-          let outcome = Step.apply ~check:false inst st labeled.Enumerate.entry in
-          let st' = project_state inst (collapse outcome.Step.state) in
-          if State.max_occupancy st' > config.channel_bound then begin
-            pruned := true;
-            incr c_pruned;
-            None
-          end
-          else begin
-            match intern st' with
-            | None -> None
-            | Some (j, fresh) ->
-              if fresh then Queue.add (j, st') queue;
-              Some { dst = j; label = labeled }
-          end)
-        (successors st)
-    in
-    c_edges := !c_edges + List.length edges;
-    c_peak := max !c_peak (Queue.length queue);
-    adjacency := (i, edges) :: !adjacency;
-    match checkpoint with
-    | Some { path; every } ->
-      incr since_checkpoint;
-      if !since_checkpoint >= every && not (Queue.is_empty queue) then begin
-        since_checkpoint := 0;
-        write_checkpoint path
-      end
-    | None -> ()
+  let continue = ref true in
+  while !continue do
+    match fpop () with
+    | None -> continue := false
+    | Some (i, st) ->
+      let pairs =
+        List.map
+          (fun (labeled : Enumerate.labeled) ->
+            (labeled, Step.apply ~check:false inst st labeled.Enumerate.entry))
+          (successors st)
+      in
+      let pairs =
+        if por then begin
+          let sel, proper = Reduce.ample inst st pairs in
+          if proper then incr c_ample;
+          sel
+        end
+        else pairs
+      in
+      let edges =
+        List.filter_map
+          (fun ((labeled : Enumerate.labeled), outcome) ->
+            let st' = project_state inst (collapse outcome.Step.state) in
+            if State.max_occupancy st' > config.channel_bound then begin
+              pruned := true;
+              incr c_pruned;
+              None
+            end
+            else begin
+              let st' =
+                if sym then begin
+                  let c = canon st' in
+                  if not (c == st') && not (State.equal c st') then incr c_canon;
+                  c
+                end
+                else st'
+              in
+              match intern st' with
+              | None -> None
+              | Some (j, fresh) ->
+                if fresh then fpush (j, st');
+                Some { dst = j; label = labeled }
+            end)
+          pairs
+      in
+      c_edges := !c_edges + List.length edges;
+      c_peak := max !c_peak (flen ());
+      adjacency := (i, edges) :: !adjacency;
+      (match checkpoint with
+      | Some { path; every } ->
+        incr since_checkpoint;
+        if !since_checkpoint >= every && not (Queue.is_empty queue) then begin
+          since_checkpoint := 0;
+          write_checkpoint path
+        end
+      | None -> ())
   done;
   tick metrics (fun m ->
       Metrics.add_interned m !c_interned;
@@ -273,7 +420,9 @@ let explore_seq ~config ?metrics ?checkpoint ?resume inst ~successors ~collapse 
       Metrics.add_edges m !c_edges;
       Metrics.add_pruned m !c_pruned;
       Metrics.add_truncated m !c_trunc;
-      Metrics.observe_frontier m !c_peak);
+      Metrics.observe_frontier m !c_peak;
+      Metrics.add_ample m !c_ample;
+      Metrics.add_canonicalized m !c_canon);
   let states_arr = Array.of_list (List.rev !states) in
   let adj = Array.make (Array.length states_arr) [] in
   List.iter (fun (i, es) -> adj.(i) <- es) !adjacency;
@@ -378,6 +527,8 @@ type wstats = {
   mutable s_pruned : int;
   mutable s_truncated : int;
   mutable s_peak : int;
+  mutable s_ample : int;
+  mutable s_canon : int;
   mutable pad0 : int;
   mutable pad1 : int;
 }
@@ -390,12 +541,20 @@ let fresh_stats () =
     s_pruned = 0;
     s_truncated = 0;
     s_peak = 0;
+    s_ample = 0;
+    s_canon = 0;
     pad0 = 0;
     pad1 = 0;
   }
 
-let explore_ws ~config ~domains ~spill ?metrics inst ~successors ~collapse =
+let explore_ws ~config ~reduction ~domains ~spill ?metrics inst ~successors ~collapse =
   let max_states = max 1 config.max_states in
+  let por = reduction = Reduce.Por in
+  let sym = reduction = Reduce.Sym in
+  (* The canonicalizer is built once here and shared read-only by every
+     worker: orbit representatives are chosen by arena-id order, which the
+     hash-consed arena keeps identical across domains of one process. *)
+  let canon = if sym then Reduce.canonicalizer inst else Fun.id in
   let n_shards = 64 in
   let shards =
     Array.init n_shards (fun _ -> { mu = Mutex.create (); tbl = StateTbl.create 256 })
@@ -430,30 +589,52 @@ let explore_ws ~config ~domains ~spill ?metrics inst ~successors ~collapse =
   in
   (* Expand one state: [push] receives each fresh successor. *)
   let expand stats ~push (i, st) =
+    let pairs =
+      List.map
+        (fun (labeled : Enumerate.labeled) ->
+          (labeled, Step.apply ~check:false inst st labeled.Enumerate.entry))
+        (successors st)
+    in
+    let pairs =
+      if por then begin
+        let sel, proper = Reduce.ample inst st pairs in
+        if proper then stats.s_ample <- stats.s_ample + 1;
+        sel
+      end
+      else pairs
+    in
     let edges =
       List.filter_map
-        (fun (labeled : Enumerate.labeled) ->
-          let outcome = Step.apply ~check:false inst st labeled.Enumerate.entry in
+        (fun ((labeled : Enumerate.labeled), outcome) ->
           let st' = project_state inst (collapse outcome.Step.state) in
           if State.max_occupancy st' > config.channel_bound then begin
             stats.s_pruned <- stats.s_pruned + 1;
             None
           end
           else begin
+            let st' =
+              if sym then begin
+                let c = canon st' in
+                if not (c == st') && not (State.equal c st') then
+                  stats.s_canon <- stats.s_canon + 1;
+                c
+              end
+              else st'
+            in
             match intern stats st' with
             | None -> None
             | Some (j, fresh) ->
               if fresh then push (j, st');
               Some { dst = j; label = labeled }
           end)
-        (successors st)
+        pairs
     in
     stats.s_edges <- stats.s_edges + List.length edges;
     (i, edges)
   in
   (* Phase 1: sequential warm start on the calling domain.  Frontier depth
      is sampled outside any critical section (there is none here). *)
-  let init = State.initial inst in
+  let init = canon (State.initial inst) in
   let seq_stats = fresh_stats () in
   (match intern seq_stats init with Some (0, true) -> () | _ -> assert false);
   let queue = Queue.create () in
@@ -570,7 +751,9 @@ let explore_ws ~config ~domains ~spill ?metrics inst ~successors ~collapse =
       Metrics.add_edges m (sum (fun w -> w.s_edges));
       Metrics.add_pruned m (sum (fun w -> w.s_pruned));
       Metrics.add_truncated m (sum (fun w -> w.s_truncated));
-      Metrics.observe_frontier m peak);
+      Metrics.observe_frontier m peak;
+      Metrics.add_ample m (sum (fun w -> w.s_ample));
+      Metrics.add_canonicalized m (sum (fun w -> w.s_canon)));
   let n = Atomic.get counter in
   let states_arr = Array.make n init in
   Array.iter (fun sh -> StateTbl.iter (fun st i -> states_arr.(i) <- st) sh.tbl) shards;
@@ -584,18 +767,51 @@ let explore_ws ~config ~domains ~spill ?metrics inst ~successors ~collapse =
     truncated = sum (fun w -> w.s_truncated) > 0;
   }
 
-let explore_with ?(config = default_config) ?domains ?spill ?metrics ?checkpoint
-    ?resume inst ~successors ~collapse =
+let explore_with ?(config = default_config) ?(reduction = Reduce.No_reduction)
+    ?domains ?spill ?frontier_spill ?metrics ?checkpoint ?resume inst ~successors
+    ~collapse =
   (match checkpoint with
   | Some { every; _ } when every < 1 ->
     invalid_arg "Explore: checkpoint every must be >= 1"
   | _ -> ());
-  (* Checkpoint/resume is defined only for the deterministic sequential
-     order (work-stealing numbering is nondeterministic), so either option
-     forces the sequential path regardless of [domains]/[spill]. *)
   let deterministic = checkpoint <> None || resume <> None in
+  (* Orbit representatives are chosen by arena-id order, which is stable
+     within a process but not across one: a sym run resumed in a new
+     process would canonicalize differently and re-derive states the
+     snapshot already holds.  Refuse rather than corrupt. *)
+  if deterministic && reduction = Reduce.Sym then
+    invalid_arg
+      "Explore: sym reduction cannot be checkpointed or resumed (orbit \
+       representatives are process-local)";
+  if frontier_spill <> None && deterministic then
+    invalid_arg "Explore: frontier_spill is incompatible with checkpoint/resume";
+  (* Checkpoint/resume and the disk-spilled frontier are defined only for
+     the deterministic sequential order (work-stealing numbering is
+     nondeterministic).  An explicit request for parallelism alongside
+     them is a contradiction the caller must resolve; an environment-derived
+     default is downgraded and recorded in the metrics instead of being
+     silently ignored. *)
+  let seq_only = deterministic || frontier_spill <> None in
+  let seq_reason () =
+    if deterministic then "checkpoint/resume" else "frontier_spill"
+  in
   let domains =
-    if deterministic then 1
+    if seq_only then begin
+      match domains with
+      | Some d when d > 1 ->
+        invalid_arg
+          (Printf.sprintf "Explore: %s requires sequential exploration (got domains = %d)"
+             (seq_reason ()) d)
+      | Some _ -> 1
+      | None ->
+        let implied = default_domains () in
+        if implied > 1 then
+          tick metrics (fun m ->
+              Metrics.set_downgrade m
+                (Printf.sprintf "%s forced domains = 1 (environment requested %d)"
+                   (seq_reason ()) implied));
+        1
+    end
     else match domains with Some d -> max 1 d | None -> default_domains ()
   in
   tick metrics (fun m -> Metrics.set_domains m domains);
@@ -605,11 +821,16 @@ let explore_with ?(config = default_config) ?domains ?spill ?metrics ?checkpoint
   in
   Metrics.timed ?m:metrics "explore" (fun () ->
       match spill with
-      | None -> explore_seq ~config ?metrics ?checkpoint ?resume inst ~successors ~collapse
+      | None ->
+        explore_seq ~config ~reduction ?metrics ?checkpoint ?frontier:frontier_spill
+          ?resume inst ~successors ~collapse
       | Some spill ->
-        explore_ws ~config ~domains ~spill ?metrics inst ~successors ~collapse)
+        explore_ws ~config ~reduction ~domains ~spill ?metrics inst ~successors
+          ~collapse)
 
-let explore ?config ?domains ?spill ?metrics ?checkpoint ?resume inst model =
-  explore_with ?config ?domains ?spill ?metrics ?checkpoint ?resume inst
+let explore ?config ?reduction ?domains ?spill ?frontier_spill ?metrics ?checkpoint
+    ?resume inst model =
+  explore_with ?config ?reduction ?domains ?spill ?frontier_spill ?metrics ?checkpoint
+    ?resume inst
     ~successors:(Enumerate.successors inst model)
     ~collapse:(collapse_state model)

@@ -60,10 +60,22 @@ type checkpoint = { path : string; every : int }
     states.  No checkpoint is written once the frontier drains — a file
     left behind always resumes to the same final graph. *)
 
+type frontier_spill = { dir : string; chunk : int }
+(** Spill the middle of the BFS frontier to disk in [dir] as checksummed
+    {!Engine.Snapshot} frontier chunks of [chunk] states each, keeping
+    only the two queue ends resident.  Pop order — and hence the explored
+    graph — is bit-identical to the in-memory queue.  Sequential only
+    (like checkpointing), and note the intern table still references
+    every state, so this bounds the frontier's extra copy, not total
+    memory (EXPERIMENTS.md).  [dir] is created if missing; drained chunk
+    files are deleted as they are consumed. *)
+
 val explore :
   ?config:config ->
+  ?reduction:Reduce.t ->
   ?domains:int ->
   ?spill:int ->
+  ?frontier_spill:frontier_spill ->
   ?metrics:Engine.Metrics.t ->
   ?checkpoint:checkpoint ->
   ?resume:Engine.Snapshot.t ->
@@ -73,8 +85,10 @@ val explore :
 
 val explore_with :
   ?config:config ->
+  ?reduction:Reduce.t ->
   ?domains:int ->
   ?spill:int ->
+  ?frontier_spill:frontier_spill ->
   ?metrics:Engine.Metrics.t ->
   ?checkpoint:checkpoint ->
   ?resume:Engine.Snapshot.t ->
@@ -82,7 +96,7 @@ val explore_with :
   successors:(Engine.State.t -> Enumerate.labeled list) ->
   collapse:(Engine.State.t -> Engine.State.t) ->
   graph
-(** Generalized entry point (heterogeneous models, custom reductions);
+(** Generalized entry point (heterogeneous models, custom collapses);
     [collapse] must be an exact abstraction of the successor relation.
     [successors] and [collapse] must be pure: once the frontier spills
     they are called concurrently from several domains.  With [metrics],
@@ -90,11 +104,27 @@ val explore_with :
     once at join on the parallel path), plus an "explore" wall-time
     phase.
 
+    [?reduction] (default {!Reduce.No_reduction}, which leaves the legacy
+    exploration bit-identical) applies {!Reduce.Por} ample-set pruning or
+    the {!Reduce.Sym} symmetry quotient; both preserve the verdict and
+    the reachable assignment set (DESIGN.md).  Under [Por] the
+    [ample_states] metric counts states expanded through a proper ample
+    subset; under [Sym] the [canonicalized] metric counts successors
+    rewritten to another orbit representative.
+
     [?checkpoint] and [?resume] (a snapshot loaded by the caller with
     {!Engine.Snapshot.load}) are defined only for the deterministic
-    sequential order, so either forces [domains = 1].  Resuming continues
-    the saved BFS — same intern table, same queue order — so the final
-    verdict, state count and edge multiset are bit-identical to an
-    uninterrupted run.  Raises [Invalid_argument] if the snapshot's
-    recorded [channel_bound]/[max_states] disagree with [config], or if
-    [checkpoint.every < 1]. *)
+    sequential order.  Resuming continues the saved BFS — same intern
+    table, same queue order — so the final verdict, state count and edge
+    multiset are bit-identical to an uninterrupted run.
+
+    Raises [Invalid_argument] if: the snapshot's recorded
+    [channel_bound]/[max_states]/[reduction] disagree with this run's;
+    [checkpoint.every < 1]; [Sym] is combined with checkpoint/resume
+    (orbit representatives are process-local, see {!Reduce.canonicalizer});
+    [?frontier_spill] is combined with checkpoint/resume; or an explicit
+    [?domains] above 1 is combined with any of the sequential-only options
+    (checkpoint, resume, frontier spill).  When those options merely meet
+    an environment-derived ([DOMAINS]) parallelism default, the run is
+    downgraded to one domain and the downgrade is recorded in the metrics
+    ([Engine.Metrics.downgrade]) rather than silently applied. *)

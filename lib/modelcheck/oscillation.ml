@@ -345,11 +345,18 @@ let cycle_fair_from inst state cycle =
   List.for_all (fun c -> CS.mem c reads) (tracked_channels inst)
   && CS.subset drops cleans
 
-let analyze ?config ?domains ?metrics inst model =
-  let graph = Explore.explore ?config ?domains ?metrics inst model in
+let analyze ?config ?reduction ?domains ?metrics inst model =
+  let graph = Explore.explore ?config ?reduction ?domains ?metrics inst model in
   Metrics.timed ?m:metrics "analyze" (fun () -> analyze_graph inst graph)
 
-let analyze_hetero ?config ?domains ?metrics inst hetero =
+let analyze_hetero ?config ?reduction ?domains ?metrics inst hetero =
+  (* The symmetry quotient requires one model everywhere: an automorphism
+     of the instance need not map a node to one running the same model, so
+     relabeled executions are not executions of the heterogeneous system. *)
+  (match reduction with
+  | Some Reduce.Sym ->
+    invalid_arg "Oscillation.analyze_hetero: sym reduction requires a homogeneous model"
+  | _ -> ());
   let models = List.map (Hetero.model_of hetero) (Instance.nodes inst) in
   let collapsible =
     List.for_all
@@ -357,7 +364,7 @@ let analyze_hetero ?config ?domains ?metrics inst hetero =
       models
   in
   let graph =
-    Explore.explore_with ?config ?domains ?metrics inst
+    Explore.explore_with ?config ?reduction ?domains ?metrics inst
       ~successors:(Enumerate.successors_with inst (Hetero.model_of hetero))
       ~collapse:(fun st ->
         if collapsible then
@@ -392,5 +399,5 @@ let verify_witness ?max_steps inst model w =
 let verify_witness_hetero ?max_steps inst hetero w =
   verify_witness_generic ?max_steps ~valid:(Hetero.validates inst hetero) inst w
 
-let sweep ?config ?domains ?metrics inst models =
-  List.map (fun m -> (m, analyze ?config ?domains ?metrics inst m)) models
+let sweep ?config ?reduction ?domains ?metrics inst models =
+  List.map (fun m -> (m, analyze ?config ?reduction ?domains ?metrics inst m)) models

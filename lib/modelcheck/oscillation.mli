@@ -28,23 +28,34 @@ val analyze_graph : Spp.Instance.t -> Explore.graph -> verdict
 
 val analyze :
   ?config:Explore.config ->
+  ?reduction:Reduce.t ->
   ?domains:int ->
   ?metrics:Engine.Metrics.t ->
   Spp.Instance.t ->
   Engine.Model.t ->
   verdict
-(** [domains]/[metrics] are forwarded to {!Explore.explore}; with [metrics]
-    the graph analysis is additionally timed as an "analyze" phase. *)
+(** [reduction]/[domains]/[metrics] are forwarded to {!Explore.explore};
+    with [metrics] the graph analysis is additionally timed as an
+    "analyze" phase.  Both reductions preserve the verdict of a clean
+    (unpruned, untruncated) exploration; when the exact run prunes at the
+    channel bound, a reduced run may additionally reach a definitive
+    verdict, because POR's representative executions drain messages
+    eagerly and can stay inside a bound the original schedule exceeded
+    (DESIGN.md). *)
 
 val analyze_hetero :
   ?config:Explore.config ->
+  ?reduction:Reduce.t ->
   ?domains:int ->
   ?metrics:Engine.Metrics.t ->
   Spp.Instance.t ->
   Engine.Hetero.t ->
   verdict
 (** Exhaustive verdict when each node runs its own model (Sec. 5's open
-    mixed-model question). *)
+    mixed-model question).  [Reduce.Por] is sound here (the drain
+    conditions are per-node and model-independent); [Reduce.Sym] raises
+    [Invalid_argument] — an instance automorphism need not preserve the
+    node-to-model assignment. *)
 
 val verify_witness :
   ?max_steps:int -> Spp.Instance.t -> Engine.Model.t -> witness -> bool
@@ -57,6 +68,7 @@ val verify_witness_hetero :
 
 val sweep :
   ?config:Explore.config ->
+  ?reduction:Reduce.t ->
   ?domains:int ->
   ?metrics:Engine.Metrics.t ->
   Spp.Instance.t ->

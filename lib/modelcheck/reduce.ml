@@ -1,0 +1,110 @@
+open Engine
+
+type t = No_reduction | Por | Sym
+
+let to_string = function No_reduction -> "none" | Por -> "por" | Sym -> "sym"
+
+let of_string = function
+  | "none" -> Some No_reduction
+  | "por" -> Some Por
+  | "sym" -> Some Sym
+  | _ -> None
+
+let pp ppf t = Fmt.string ppf (to_string t)
+
+(* ------------------------------------------------------------------ *)
+(* Partial-order reduction: invisible-drain ample sets.
+
+   A node v is an invisible drain at state s when every activation of v
+   enabled at s (i) pushes nothing, (ii) leaves π_v and v's last
+   announcement unchanged, and some activation (iii) consumes at least one
+   message.  Such activations only shrink v's in-channels and rewrite ρ on
+   them — state components no other node's activation reads — so each one
+   commutes with every other node's activations (FIFO prefix-read vs.
+   append on disjoint channels), and expanding v alone defers, never
+   loses, the rest (DESIGN.md, "State-space reduction" — including why the
+   ample set must be ALL of v's activations, and why (iii) plus the strict
+   message-count decrease discharges the cycle proviso structurally). *)
+
+let ample _inst st outcomes =
+  let drains st' v = function
+    | { Step.pushed = []; _ } as o ->
+      State.pi_id o.Step.state v = State.pi_id st' v
+      && State.announced_id o.Step.state v = State.announced_id st' v
+    | _ -> false
+  in
+  let progresses (o : Step.outcome) = List.exists (fun (_, n) -> n > 0) o.processed in
+  (* [Enumerate.successors] emits each node's entries consecutively, so
+     one linear scan recovers the groups. *)
+  let rec groups acc cur key = function
+    | [] -> List.rev (if cur = [] then acc else List.rev cur :: acc)
+    | ((l, _) as pair) :: rest ->
+      let k = l.Enumerate.entry.Activation.active in
+      if k = key || cur = [] then groups acc (pair :: cur) k rest
+      else groups (List.rev cur :: acc) [ pair ] k rest
+  in
+  let total = List.length outcomes in
+  let eligible group =
+    match group with
+    | ((l, _) :: _ : (Enumerate.labeled * Step.outcome) list) -> (
+      match l.Enumerate.entry.Activation.active with
+      | [ v ] ->
+        List.length group < total
+        && List.for_all (fun (_, o) -> drains st v o) group
+        && List.exists (fun (_, o) -> progresses o) group
+      | _ -> false)
+    | [] -> false
+  in
+  match List.find_opt eligible (groups [] [] [] outcomes) with
+  | Some group -> (group, true)
+  | None -> (outcomes, false)
+
+(* ------------------------------------------------------------------ *)
+(* Symmetry quotient. *)
+
+type canonicalizer = State.t -> State.t
+
+let relabel inst sigma st =
+  let module I = Spp.Instance in
+  let module A = Spp.Arena in
+  let rid p =
+    if A.is_epsilon p then p else A.of_nodes (List.map (fun v -> sigma.(v)) (A.to_nodes p))
+  in
+  let nodes = I.nodes inst in
+  let s = State.initial inst in
+  (* Every node is written explicitly (σ is a permutation), so nothing
+     stale survives from the initial state. *)
+  let s = List.fold_left (fun s v -> State.with_pi_id s sigma.(v) (rid (State.pi_id st v))) s nodes in
+  let s =
+    List.fold_left
+      (fun s v -> State.with_announced_id s sigma.(v) (rid (State.announced_id st v)))
+      s nodes
+  in
+  let s =
+    List.fold_left
+      (fun s ((c : Channel.id), p) ->
+        State.with_rho_id s (Channel.id ~src:sigma.(c.Channel.src) ~dst:sigma.(c.Channel.dst)) (rid p))
+      s (State.rho_bindings_id st)
+  in
+  let chans =
+    List.fold_left
+      (fun m ((c : Channel.id), msgs) ->
+        let c' = Channel.id ~src:sigma.(c.Channel.src) ~dst:sigma.(c.Channel.dst) in
+        List.fold_left (fun m p -> Channel.push m c' (rid p)) m msgs)
+      Channel.empty
+      (Channel.bindings (State.channels st))
+  in
+  (* [with_channels] recomputes the digest and occupancy cache from
+     scratch, so the representative's caches can never go stale. *)
+  State.with_channels s chans
+
+let canonicalizer inst =
+  match Spp.Instance.automorphisms inst with
+  | [] -> Fun.id
+  | autos ->
+    fun st ->
+      List.fold_left
+        (fun best sg ->
+          let st' = relabel inst sg st in
+          if State.compare st' best < 0 then st' else best)
+        st autos

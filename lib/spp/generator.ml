@@ -89,6 +89,31 @@ let build ~order_paths cfg =
 
 let instance cfg = build ~order_paths:(fun rng paths -> shuffle rng paths) cfg
 
+(* Fully symmetric k-spoke instances around the destination: every spoke
+   connects to d and to its clockwise ring neighbor.  With
+   [prefer_neighbor] each spoke prefers the route through that neighbor
+   over its direct route — the rotational generalization of DISAGREE
+   (k = 2) — otherwise the direct route wins and the instance trivially
+   converges.  The k rotations are instance automorphisms, so
+   [Instance.automorphisms] reports k - 1 non-identity symmetries for the
+   symmetry quotient to exploit. *)
+let symmetric_ring ?(prefer_neighbor = true) k =
+  if k < 2 then invalid_arg "Generator.symmetric_ring: need at least 2 spokes";
+  let names =
+    Array.init (k + 1) (fun i -> if i = 0 then "d" else Printf.sprintf "v%d" i)
+  in
+  let next v = (v mod k) + 1 in
+  let edges =
+    List.concat (List.init k (fun i -> [ (0, i + 1); (i + 1, next (i + 1)) ]))
+  in
+  let permitted =
+    List.init k (fun i ->
+        let v = i + 1 in
+        let direct = [ v; 0 ] and via = [ v; next v; 0 ] in
+        (v, if prefer_neighbor then [ via; direct ] else [ direct; via ]))
+  in
+  Instance.make ~names ~dest:0 ~edges ~permitted
+
 let safe_instance cfg =
   build cfg ~order_paths:(fun _rng paths ->
       List.sort (fun p q -> compare (List.length p, p) (List.length q, q)) paths)

@@ -20,3 +20,13 @@ val instance : config -> Instance.t
 val safe_instance : config -> Instance.t
 (** Like {!instance} but ranking paths by length (shortest first), which
     cannot create a dispute wheel; useful as an always-convergent input. *)
+
+val symmetric_ring : ?prefer_neighbor:bool -> int -> Instance.t
+(** [symmetric_ring k] is the fully symmetric k-spoke instance: spokes
+    v1..vk each adjacent to the destination and to their clockwise ring
+    neighbor, every spoke preferring the route through that neighbor over
+    its direct route ([prefer_neighbor], default true — the rotational
+    generalization of DISAGREE, k = 2).  With [~prefer_neighbor:false] the
+    direct route is preferred and the instance trivially converges.  Its k
+    rotations make {!Instance.automorphisms} report k - 1 non-identity
+    symmetries.  Raises [Invalid_argument] when [k < 2]. *)

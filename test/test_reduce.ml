@@ -1,0 +1,423 @@
+(* State-space reduction (Modelcheck.Reduce) and its integration with the
+   explorer: verdict/assignment parity of POR and the symmetry quotient
+   against the exact exploration, witness replay under POR, the
+   sequential-only mode guards, the disk-spilled frontier's bit-identity,
+   and the occupancy-cache invariant the reduction paths must maintain. *)
+
+open Spp
+open Engine
+open Modelcheck
+
+let model s = Option.get (Model.of_string s)
+let ring3 = Generator.symmetric_ring 3
+
+(* ------------------------------------------------------------------ *)
+(* Instance automorphisms: the group the symmetry quotient divides by. *)
+
+let test_automorphism_counts () =
+  let count inst = List.length (Instance.automorphisms inst) in
+  (* DISAGREE: swapping the two contending nodes is the one symmetry. *)
+  Alcotest.(check int) "DISAGREE" 1 (count Gadgets.disagree);
+  (* k-spoke symmetric rings admit exactly the k rotations (minus id). *)
+  Alcotest.(check int) "RING3" 2 (count ring3);
+  Alcotest.(check int) "RING4" 3 (count (Generator.symmetric_ring 4));
+  (* FIG6's preference structure is asymmetric. *)
+  Alcotest.(check int) "FIG6" 0 (count Gadgets.fig6)
+
+let test_automorphisms_are_permutations () =
+  List.iter
+    (fun inst ->
+      let n = Instance.size inst in
+      List.iter
+        (fun sigma ->
+          Alcotest.(check int) "arity" n (Array.length sigma);
+          let seen = Array.make n false in
+          Array.iter (fun v -> seen.(v) <- true) sigma;
+          Alcotest.(check bool) "bijective" true (Array.for_all Fun.id seen))
+        (Instance.automorphisms inst))
+    [ Gadgets.disagree; ring3 ]
+
+(* ------------------------------------------------------------------ *)
+(* Parity: both reductions must preserve the oscillation verdict and the
+   reachable path-assignment set.  The sym quotient only keeps one orbit
+   representative per class, so its assignment set is compared after
+   closing both sides under the automorphism group (mapping every
+   assignment to the least element of its orbit). *)
+
+let relabel_path sigma p =
+  if Path.is_epsilon p then p
+  else Path.of_nodes (List.map (fun v -> sigma.(v)) (Path.to_nodes p))
+
+let relabel_assignment inst sigma a =
+  Assignment.of_list inst
+    (List.map (fun (v, p) -> (sigma.(v), relabel_path sigma p)) (Assignment.to_list a))
+
+let canon_assignment inst autos a =
+  List.fold_left
+    (fun best sigma ->
+      let b = relabel_assignment inst sigma a in
+      if Assignment.compare b best < 0 then b else best)
+    a autos
+
+let assignment_set ?canon inst (g : Explore.graph) =
+  let canon = Option.value canon ~default:Fun.id in
+  Array.to_list g.Explore.states
+  |> List.map (fun st -> canon (State.assignment inst st))
+  |> List.sort_uniq Assignment.compare
+
+(* Checks one (instance, model, reduction) against the exact run.  Only
+   clean unreduced explorations are compared: under truncation the kept
+   subset is schedule-dependent, and when the exact run pruned a write the
+   reduced run may legitimately reach a *stronger* verdict — POR's
+   representative executions drain messages eagerly, so they can stay
+   inside a channel bound the original schedule exceeded (DESIGN.md).
+   When the exact run does report a pruning-proof oscillation under POR,
+   the witness-replay test below still covers the reduced verdict. *)
+let check_parity name inst ~config m reduction =
+  let exact = Explore.explore ~config ~domains:1 inst m in
+  let reduced = Explore.explore ~config ~reduction ~domains:1 inst m in
+  let tag =
+    Printf.sprintf "%s/%s/%s" name (Model.to_string m) (Reduce.to_string reduction)
+  in
+  let verdict g = Oscillation.verdict_name (Oscillation.analyze_graph inst g) in
+  if (not exact.Explore.pruned) && not exact.Explore.truncated then begin
+    Alcotest.(check string) (tag ^ " verdict") (verdict exact) (verdict reduced);
+    Alcotest.(check bool)
+      (tag ^ " reduced is no larger") true
+      (Array.length reduced.Explore.states <= Array.length exact.Explore.states);
+    Alcotest.(check bool) (tag ^ " clean flags") false
+      (reduced.Explore.pruned || reduced.Explore.truncated);
+    let canon =
+      match reduction with
+      | Reduce.Sym ->
+        let autos = Instance.automorphisms inst in
+        Some (canon_assignment inst autos)
+      | _ -> None
+    in
+    let ea = assignment_set ?canon inst exact
+    and ra = assignment_set ?canon inst reduced in
+    Alcotest.(check int) (tag ^ " assignment set size") (List.length ea)
+      (List.length ra);
+    Alcotest.(check bool) (tag ^ " assignment sets equal") true
+      (List.equal (fun a b -> Assignment.compare a b = 0) ea ra)
+  end
+
+let test_parity_gadgets () =
+  (* DISAGREE runs at the default bound; RING3's unreliable-model spaces
+     grow quickly with the bound, and bound 3 already exercises multi-slot
+     channels, nontrivial orbits and the ample drain conditions. *)
+  List.iter
+    (fun (name, inst, config) ->
+      List.iter
+        (fun m ->
+          List.iter
+            (check_parity name inst ~config m)
+            [ Reduce.Por; Reduce.Sym ])
+        Model.all)
+    [
+      ("DISAGREE", Gadgets.disagree, Explore.default_config);
+      ("RING3", ring3, { Explore.channel_bound = 3; max_states = 100_000 });
+    ]
+
+let prop_parity_generated =
+  QCheck2.Test.make ~name:"reductions preserve verdict and assignments" ~count:4
+    QCheck2.Gen.(int_range 0 9_999)
+    (fun seed ->
+      let inst =
+        Generator.instance
+          { Generator.default with nodes = 4; seed; extra_edges = 1; max_paths_per_node = 2 }
+      in
+      let config = { Explore.channel_bound = 2; max_states = 20_000 } in
+      List.iter
+        (fun m ->
+          List.iter
+            (check_parity (Printf.sprintf "GEN%d" seed) inst ~config m)
+            [ Reduce.Por; Reduce.Sym ])
+        Model.all;
+      true)
+
+(* POR prunes schedules, never states a witness needs: every oscillation
+   witness found through an ample-reduced graph must replay concretely.
+   (Sym witnesses are only valid up to relabeling — that contract lives in
+   Oscillation's docs and Conformance rejects sym for exactly this reason.) *)
+let test_por_witness_replays () =
+  List.iter
+    (fun (name, inst) ->
+      List.iter
+        (fun m ->
+          match Oscillation.analyze ~reduction:Reduce.Por ~domains:1 inst m with
+          | Oscillation.Oscillates w ->
+            Alcotest.(check bool)
+              (Printf.sprintf "%s/%s witness replays" name (Model.to_string m))
+              true
+              (Oscillation.verify_witness inst m w)
+          | _ -> ())
+        Model.all)
+    [ ("DISAGREE", Gadgets.disagree); ("RING3", ring3) ]
+
+(* The ample-set counter only moves under POR, and POR actually reduces
+   the deep FIG6-class spaces (the acceptance bar for the bench gate is
+   checked there against real wall-clock runs; here a cheaper case pins
+   the mechanism). *)
+let test_por_reduces_ring3 () =
+  let m = model "UMS" in
+  let count red =
+    let metrics = Metrics.create () in
+    let g = Explore.explore ~reduction:red ~domains:1 ~metrics ring3 m in
+    (Array.length g.Explore.states, metrics)
+  in
+  let exact, m_exact = count Reduce.No_reduction in
+  let reduced, m_por = count Reduce.Por in
+  Alcotest.(check int) "no ample states without POR" 0 (Metrics.ample_states m_exact);
+  Alcotest.(check bool) "POR expands some ample subsets" true
+    (Metrics.ample_states m_por > 0);
+  Alcotest.(check bool)
+    (Printf.sprintf "POR shrinks RING3/UMS (%d -> %d)" exact reduced)
+    true
+    (reduced * 2 <= exact)
+
+let test_sym_quotients_ring3 () =
+  let m = model "R1O" in
+  let metrics = Metrics.create () in
+  let exact = Explore.explore ~domains:1 ring3 m in
+  let reduced = Explore.explore ~reduction:Reduce.Sym ~domains:1 ~metrics ring3 m in
+  Alcotest.(check bool) "some interns canonicalized" true
+    (Metrics.canonicalized metrics > 0);
+  Alcotest.(check bool)
+    (Printf.sprintf "sym shrinks RING3/R1O (%d -> %d)"
+       (Array.length exact.Explore.states)
+       (Array.length reduced.Explore.states))
+    true
+    (Array.length reduced.Explore.states * 2 <= Array.length exact.Explore.states)
+
+(* ------------------------------------------------------------------ *)
+(* Sequential-only guards (checkpoint/resume and the spilled frontier):
+   explicit parallelism is a typed error, environment-implied parallelism
+   is a recorded downgrade. *)
+
+let with_tmpdir f =
+  let dir = Filename.temp_file "reduce_test" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  Fun.protect
+    ~finally:(fun () ->
+      let rec rm p =
+        if Sys.is_directory p then begin
+          Array.iter (fun e -> rm (Filename.concat p e)) (Sys.readdir p);
+          Unix.rmdir p
+        end
+        else Sys.remove p
+      in
+      if Sys.file_exists dir then rm dir)
+    (fun () -> f dir)
+
+let invalid_arg_raised f =
+  match f () with _ -> false | exception Invalid_argument _ -> true
+
+let test_explicit_domains_rejected () =
+  let inst = Gadgets.disagree in
+  let m = model "UMS" in
+  with_tmpdir (fun dir ->
+      let ckpt = { Explore.path = Filename.concat dir "snap"; every = 5 } in
+      Alcotest.(check bool) "domains>1 + checkpoint" true
+        (invalid_arg_raised (fun () ->
+             Explore.explore ~domains:3 ~checkpoint:ckpt inst m));
+      let fs = { Explore.dir = Filename.concat dir "spool"; chunk = 4 } in
+      Alcotest.(check bool) "domains>1 + frontier_spill" true
+        (invalid_arg_raised (fun () ->
+             Explore.explore ~domains:3 ~frontier_spill:fs inst m));
+      Alcotest.(check bool) "sym + checkpoint" true
+        (invalid_arg_raised (fun () ->
+             Explore.explore ~reduction:Reduce.Sym ~checkpoint:ckpt inst m));
+      Alcotest.(check bool) "frontier_spill + checkpoint" true
+        (invalid_arg_raised (fun () ->
+             Explore.explore ~frontier_spill:fs ~checkpoint:ckpt inst m)))
+
+let test_env_domains_downgraded () =
+  let inst = Gadgets.disagree in
+  let m = model "UMS" in
+  let saved = Sys.getenv_opt "DOMAINS" in
+  Unix.putenv "DOMAINS" "3";
+  Fun.protect
+    ~finally:(fun () ->
+      Unix.putenv "DOMAINS" (Option.value saved ~default:""))
+    (fun () ->
+      with_tmpdir (fun dir ->
+          let metrics = Metrics.create () in
+          let ckpt = { Explore.path = Filename.concat dir "snap"; every = 5 } in
+          let g = Explore.explore ~metrics ~checkpoint:ckpt inst m in
+          Alcotest.(check int) "explored fully" 39 (Array.length g.Explore.states);
+          Alcotest.(check int) "ran on one domain" 1 (Metrics.domains metrics);
+          match Metrics.downgrade metrics with
+          | Some why ->
+            Alcotest.(check bool) "downgrade names the env request" true
+              (String.length why > 0)
+          | None -> Alcotest.fail "env-implied parallelism downgrade not recorded"))
+
+(* ------------------------------------------------------------------ *)
+(* Checkpoint/resume under POR: the snapshot records the reduction, a
+   resumed run continues it, and a mismatched resume is refused. *)
+
+let test_checkpoint_records_reduction () =
+  let inst = ring3 in
+  let m = model "UMS" in
+  with_tmpdir (fun dir ->
+      let path = Filename.concat dir "snap" in
+      let ckpt = { Explore.path; every = 50 } in
+      let g =
+        Explore.explore ~reduction:Reduce.Por ~domains:1 ~checkpoint:ckpt inst m
+      in
+      Alcotest.(check bool) "checkpoint file written" true (Sys.file_exists path);
+      let snap =
+        match Snapshot.load ~path inst with
+        | Ok s -> s
+        | Error e -> Alcotest.failf "snapshot load: %s" (Snapshot.error_to_string e)
+      in
+      Alcotest.(check string) "snapshot records por" "por" snap.Snapshot.reduction;
+      Alcotest.(check bool) "resume under another reduction refused" true
+        (invalid_arg_raised (fun () -> Explore.explore ~domains:1 ~resume:snap inst m));
+      let resumed =
+        Explore.explore ~reduction:Reduce.Por ~domains:1 ~resume:snap inst m
+      in
+      Alcotest.(check int) "resumed run reaches the same graph"
+        (Array.length g.Explore.states)
+        (Array.length resumed.Explore.states))
+
+(* ------------------------------------------------------------------ *)
+(* Disk-spilled frontier: bit-identical graph, chunks consumed. *)
+
+let test_frontier_spill_bit_identical () =
+  let inst = ring3 in
+  let m = model "UMS" in
+  with_tmpdir (fun dir ->
+      let spool = Filename.concat dir "spool" in
+      let plain = Explore.explore ~domains:1 inst m in
+      let spilled =
+        Explore.explore ~domains:1
+          ~frontier_spill:{ Explore.dir = spool; chunk = 7 }
+          inst m
+      in
+      Alcotest.(check int) "state count"
+        (Array.length plain.Explore.states)
+        (Array.length spilled.Explore.states);
+      Array.iteri
+        (fun i st ->
+          if not (State.equal st spilled.Explore.states.(i)) then
+            Alcotest.failf "state %d differs: spill changed the BFS order" i)
+        plain.Explore.states;
+      Alcotest.(check bool) "adjacency identical" true
+        (plain.Explore.adjacency = spilled.Explore.adjacency);
+      Alcotest.(check bool) "flags identical" true
+        (plain.Explore.pruned = spilled.Explore.pruned
+        && plain.Explore.truncated = spilled.Explore.truncated);
+      Alcotest.(check (array string)) "all chunk files consumed" [||]
+        (Sys.readdir spool))
+
+let test_frontier_chunk_roundtrip () =
+  let inst = ring3 in
+  let m = model "UMS" in
+  let g = Explore.explore ~domains:1 inst m in
+  let items =
+    List.filteri (fun i _ -> i < 9) (Array.to_list g.Explore.states)
+    |> List.mapi (fun i st -> (i * 3, st))
+  in
+  with_tmpdir (fun dir ->
+      let path = Filename.concat dir "chunk" in
+      Snapshot.save_chunk ~path inst items;
+      (match Snapshot.load_chunk ~path inst with
+      | Error e -> Alcotest.failf "load_chunk: %s" (Snapshot.error_to_string e)
+      | Ok loaded ->
+        Alcotest.(check int) "item count" (List.length items) (List.length loaded);
+        List.iter2
+          (fun (i, st) (j, st') ->
+            Alcotest.(check int) "frontier index" i j;
+            Alcotest.(check bool) "state round-trips" true (State.equal st st'))
+          items loaded);
+      (* A corrupted chunk must be detected, not half-loaded. *)
+      let text = In_channel.with_open_bin path In_channel.input_all in
+      let broken = Bytes.of_string text in
+      Bytes.set broken (Bytes.length broken / 2) '\xff';
+      Out_channel.with_open_bin path (fun oc ->
+          Out_channel.output_bytes oc broken);
+      match Snapshot.load_chunk ~path inst with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "corrupted chunk loaded successfully")
+
+(* ------------------------------------------------------------------ *)
+(* S2: the cached max-occupancy must survive every mutator, including the
+   relabeling the symmetry quotient applies to freshly generated states. *)
+
+let prop_occupancy_cache_exact =
+  QCheck2.Test.make ~name:"max_occupancy cache survives mutators and relabeling"
+    ~count:30
+    QCheck2.Gen.(pair (int_range 0 9_999) (int_range 1 40))
+    (fun (seed, steps) ->
+      let inst = ring3 in
+      let m = model "UMS" in
+      let autos = Instance.automorphisms inst in
+      let sched = Scheduler.random inst m ~seed in
+      let entries = Scheduler.prefix steps sched in
+      let final =
+        List.fold_left
+          (fun st entry ->
+            let st = (Step.apply inst st entry).Step.state in
+            if not (State.debug_occupancy_ok st) then
+              QCheck2.Test.fail_report "stale occupancy after a step";
+            List.iter
+              (fun sigma ->
+                if not (State.debug_occupancy_ok (Reduce.relabel inst sigma st))
+                then QCheck2.Test.fail_report "stale occupancy after relabel")
+              autos;
+            st)
+          (State.initial inst) entries
+      in
+      (* Direct channel surgery on the final state: push and drop keep the
+         cache exact too. *)
+      (match State.rho_bindings_id final with
+      | (cid, pid) :: _ ->
+        let pushed = State.push_channel final cid pid in
+        if not (State.debug_occupancy_ok pushed) then
+          QCheck2.Test.fail_report "stale occupancy after push_channel";
+        let dropped = State.drop_first_channel pushed cid 1 in
+        if not (State.debug_occupancy_ok dropped) then
+          QCheck2.Test.fail_report "stale occupancy after drop_first_channel"
+      | [] -> ());
+      true)
+
+let () =
+  Alcotest.run "reduce"
+    [
+      ( "automorphisms",
+        [
+          Alcotest.test_case "counts" `Quick test_automorphism_counts;
+          Alcotest.test_case "are permutations" `Quick
+            test_automorphisms_are_permutations;
+        ] );
+      ( "parity",
+        Alcotest.test_case "gadgets, 24 models" `Slow test_parity_gadgets
+        :: Alcotest.test_case "POR witnesses replay" `Quick test_por_witness_replays
+        :: Alcotest.test_case "POR reduces RING3" `Quick test_por_reduces_ring3
+        :: Alcotest.test_case "sym quotients RING3" `Quick test_sym_quotients_ring3
+        :: List.map QCheck_alcotest.to_alcotest [ prop_parity_generated ] );
+      ( "sequential-only guards",
+        [
+          Alcotest.test_case "explicit domains rejected" `Quick
+            test_explicit_domains_rejected;
+          Alcotest.test_case "env domains downgraded" `Quick
+            test_env_domains_downgraded;
+        ] );
+      ( "checkpoint",
+        [
+          Alcotest.test_case "snapshot records reduction" `Quick
+            test_checkpoint_records_reduction;
+        ] );
+      ( "frontier spill",
+        [
+          Alcotest.test_case "bit-identical graph" `Quick
+            test_frontier_spill_bit_identical;
+          Alcotest.test_case "chunk round-trip and corruption" `Quick
+            test_frontier_chunk_roundtrip;
+        ] );
+      ( "occupancy cache",
+        List.map QCheck_alcotest.to_alcotest [ prop_occupancy_cache_exact ] );
+    ]

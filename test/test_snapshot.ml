@@ -79,6 +79,7 @@ let snapshot_of_graph (config : Explore.config) (g : Explore.graph) : Snapshot.t
   {
     Snapshot.channel_bound = config.Explore.channel_bound;
     max_states = config.Explore.max_states;
+    reduction = "none";
     states = g.Explore.states;
     rows = !rows;
     frontier = [];
@@ -92,6 +93,8 @@ let snapshot_of_graph (config : Explore.config) (g : Explore.graph) : Snapshot.t
         pruned_writes = 0;
         truncated_interns = 0;
         peak_frontier = 0;
+        ample = 0;
+        canonicalized = 0;
       };
   }
 
@@ -219,7 +222,7 @@ let test_corpus_prefixes_fail () =
 
 let test_journal_resume_and_partial_line () =
   let path = tmp "journal.txt" in
-  let fp = Conformance.Journal.fingerprint ~seeds:3 ~budget:"default" in
+  let fp = Conformance.Journal.fingerprint ~seeds:3 ~budget:"default" () in
   let entries =
     [
       Conformance.Journal.Positive { index = 0; held = true };
@@ -249,7 +252,7 @@ let test_journal_resume_and_partial_line () =
   Conformance.Journal.close w;
   Alcotest.(check int) "append after compaction" 4 (List.length prior);
   (* A journal written under a different configuration is ignored. *)
-  let other = Conformance.Journal.fingerprint ~seeds:99 ~budget:"deep" in
+  let other = Conformance.Journal.fingerprint ~seeds:99 ~budget:"deep" () in
   let w, prior =
     Conformance.Journal.open_ ~path ~fingerprint:other ~resume:true ~flush_every:1
   in
