@@ -1,0 +1,1 @@
+let () = Protocols_bench.main ()

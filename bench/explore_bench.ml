@@ -21,7 +21,16 @@ let schema = "commrouting/bench_explore/v4"
    refactor. *)
 let repr = "arena"
 
-let model s = Option.get (Model.of_string s)
+(* Case-table model names are literals, but a typo must die with the list
+   of valid names and exit code 2 — the CLI's bad-arguments convention —
+   not a bare [Invalid_argument] out of [Option.get]. *)
+let model s =
+  match Model.of_string s with
+  | Some m -> m
+  | None ->
+    Printf.eprintf "bench_explore: unknown model name %S (expected one of %s)\n" s
+      (String.concat ", " (List.map Model.to_string Model.all));
+    exit 2
 
 type case = {
   instance_name : string;

@@ -23,7 +23,15 @@ open Spp
 open Engine
 open Realization
 
-let model s = Option.get (Model.of_string s)
+(* Harness model names are literals; a typo exits 2 with the valid names
+   rather than raising a bare [Invalid_argument] out of [Option.get]. *)
+let model s =
+  match Model.of_string s with
+  | Some m -> m
+  | None ->
+    Printf.eprintf "bench: unknown model name %S (expected one of %s)\n" s
+      (String.concat ", " (List.map Model.to_string Model.all));
+    exit 2
 let section title = Format.printf "@.=============== %s ===============@." title
 
 let deep = Explore_bench.deep_env ()

@@ -11,6 +11,10 @@
       3–4, and the transcribed paper tables.
     - {!Modelcheck}: bounded explicit-state verification of per-model
       oscillation/convergence claims, with replayable witnesses.
+    - {!Protocols}: instances of the protocol-generic engine core
+      ({!Engine.Protocol.S}) — path-vector, gossip, push-sum — runnable
+      and explorable under every model via {!Engine.Generic.Make} and
+      {!Modelcheck.Gexplore.Make}.
     - {!Bgp}: a Gao–Rexford BGP substrate compiled onto the SPP engine,
       with the BGP-configuration-to-model mapping of Sec. 2.3/4. *)
 
@@ -18,4 +22,5 @@ module Spp = Spp
 module Engine = Engine
 module Realization = Realization
 module Modelcheck = Modelcheck
+module Protocols = Protocols
 module Bgp = Bgp

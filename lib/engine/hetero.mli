@@ -4,7 +4,13 @@
     poll and others act on messages".  This module makes such mixtures
     first-class: an assignment of one taxonomy model to every node, with
     validation, fair schedulers, and (via {!Modelcheck.Oscillation}'s
-    heterogeneous entry points) exhaustive verdicts. *)
+    heterogeneous entry points) exhaustive verdicts.
+
+    This module is typed against {!Spp.Instance.t}: applying it to a
+    non-path-vector protocol is rejected at compile time, never answered
+    wrongly.  For the generic engine, the same per-node mixtures are the
+    [?model_of] parameter of {!Generic.Make}'s [validates], [round_robin]
+    and [round_robin_lossy]. *)
 
 type t
 (** A total assignment of models to nodes. *)

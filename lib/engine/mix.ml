@@ -1,0 +1,24 @@
+(* Small integer hash mixers shared by every digest in the engine.
+
+   [mix3]/[mix4] are splitmix-style finalizers over small integers: no
+   allocation, avalanche good enough for hash tables, and — because they
+   only ever see canonical interned ids (arena path ids, protocol message
+   ids, node numbers) — the resulting digests are stable across domains of
+   one process, which is what lets parallel explorers shard intern tables
+   by digest.  Extracted from [State] (PR 7) so protocol-generic state
+   digests use the same algebra as the path-vector hot path. *)
+
+let mix3 tag a b =
+  let h = (tag + 1) * 0x2545F4914F6CDD1D in
+  let h = (h lxor a) * 0x2127599BF4325C37 in
+  let h = (h lxor b) * 0x2545F4914F6CDD1D in
+  h lxor (h lsr 31)
+
+let mix4 tag a b c = mix3 (mix3 tag a b) b c
+
+(* Digest of one channel's queue, oldest first: a seed from the endpoints
+   (tag 0x53) extended per message (tag 0x54).  Folding is associative on
+   the left, so pushing one message extends the previous digest in O(1). *)
+let h_chan_seed (c : Channel.id) = mix3 0x53 c.Channel.src c.Channel.dst
+let h_chan_ext acc msg = mix3 0x54 acc msg
+let h_chan c msgs = List.fold_left h_chan_ext (h_chan_seed c) msgs

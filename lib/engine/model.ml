@@ -100,20 +100,23 @@ let pp_violation inst ppf = function
   | Drop_on_reliable c ->
     Fmt.pf ppf "message dropped on reliable channel %a" (Channel.pp_id inst) c
 
-(* Per-node checks shared by the single- and multi-node validators.  [reads]
-   are the reads whose receiver is [v]. *)
-let node_violations inst m v (reads : Activation.read list) =
+(* Per-node checks shared by the single- and multi-node validators, and —
+   via [required] — by the protocol-generic engine ({!Generic}), whose
+   notion of "the channels node [v] must read" comes from the protocol
+   rather than from an {!Spp.Instance}.  [reads] are the reads whose
+   receiver is [v]. *)
+let node_violations_for ~required m (reads : Activation.read list) =
   let errs = ref [] in
   let add e = errs := e :: !errs in
   (match m.nbr with
   | N_one ->
-    (* The destination has no tracked in-channels, so activating it with no
-       reads is the canonical form of its (no-op) channel processing. *)
-    if List.length reads <> 1 && not (required_channels inst v = [] && reads = []) then
+    (* A node with no readable in-channels (the SPP destination under the
+       untracked-inbox convention) activates with no reads as the
+       canonical form of its (no-op) channel processing. *)
+    if List.length reads <> 1 && not (required = [] && reads = []) then
       add Wrong_channel_set
   | N_multi -> ()
   | N_every ->
-    let required = required_channels inst v in
     let present = List.map (fun (r : Activation.read) -> r.chan) reads in
     let sort = List.sort Channel.compare_id in
     if sort required <> sort present then add Wrong_channel_set);
@@ -133,6 +136,9 @@ let node_violations inst m v (reads : Activation.read list) =
         add (Drop_on_reliable r.chan))
     reads;
   List.rev !errs
+
+let node_violations inst m v reads =
+  node_violations_for ~required:(required_channels inst v) m reads
 
 let violations inst m (a : Activation.t) =
   let base = List.map (fun e -> Ill_formed e) (Activation.well_formed inst a) in

@@ -63,6 +63,14 @@ type violation =
 
 val pp_violation : Spp.Instance.t -> Format.formatter -> violation -> unit
 
+val node_violations_for :
+  required:Channel.id list -> t -> Activation.read list -> violation list
+(** The per-node dimension checks, parametric in the channels the node is
+    required to read — the SPP validators pass {!required_channels}, the
+    protocol-generic engine ({!Generic.Make}) passes the protocol's
+    [in_channels].  [reads] must be the reads whose receiver is the node
+    in question. *)
+
 val violations : Spp.Instance.t -> t -> Activation.t -> violation list
 val validates : Spp.Instance.t -> t -> Activation.t -> bool
 

@@ -3,7 +3,11 @@
     The taxonomy of Sec. 2.2 fixes |U| = 1; these helpers lift a model's
     per-node dimensions to steps that activate several nodes at once, in
     the two regimes the paper names: every node per step (synchronous) and
-    unrestricted non-empty sets. *)
+    unrestricted non-empty sets.
+
+    Like {!Hetero}, this module is typed against {!Spp.Instance.t}, so a
+    non-path-vector protocol cannot reach it: the generic counterparts are
+    {!Generic.Make}'s [validates_multi] and [synchronous]. *)
 
 type regime = Synchronous | Unrestricted
 

@@ -14,20 +14,14 @@ open Spp
    domains — which is what lets the parallel explorer shard its intern
    table by digest. *)
 
-let mix3 tag a b =
-  let h = (tag + 1) * 0x2545F4914F6CDD1D in
-  let h = (h lxor a) * 0x2127599BF4325C37 in
-  let h = (h lxor b) * 0x2545F4914F6CDD1D in
-  h lxor (h lsr 31)
-
-let mix4 tag a b c = mix3 (mix3 tag a b) b c
+let mix3 = Mix.mix3
+let mix4 = Mix.mix4
 
 let h_pi v (p : Arena.id) = mix3 0x50 v p
 let h_rho (c : Channel.id) (p : Arena.id) = mix4 0x51 c.Channel.src c.Channel.dst p
 let h_ann v (p : Arena.id) = mix3 0x52 v p
 
-let h_chan (c : Channel.id) (msgs : Arena.id list) =
-  List.fold_left (fun acc m -> mix3 0x54 acc m) (mix3 0x53 c.Channel.src c.Channel.dst) msgs
+let h_chan (c : Channel.id) (msgs : Arena.id list) = Mix.h_chan c msgs
 
 type t = {
   pi : Arena.id IMap.t; (* absent = epsilon *)

@@ -70,13 +70,19 @@ let rec product = function
     let tails = product rest in
     List.concat_map (fun o -> List.map (fun t -> o :: t) tails) opts
 
-let successors_with inst (model_of : Spp.Path.node -> Model.t) state =
-  let chans = Engine.State.channels state in
+(* The model-driven entry enumeration, parametric in where nodes, required
+   channel sets and queue lengths come from: the SPP explorer instantiates
+   it from an [Spp.Instance.t] and [Engine.State.t] (below); the generic
+   explorer ([Gexplore.Make]) from a protocol's [in_channels] and its own
+   state type.  The entry order is part of the exploration's observable
+   behavior (state numbering, checkpoint compatibility), so this extraction
+   preserves it exactly. *)
+let successors_core ~nodes ~required ~length ~(model_of : int -> Model.t) =
   List.concat_map
     (fun v ->
       let model = model_of v in
-      let options_for c = read_options model c ~m:(Channel.length chans c) in
-      let required = Model.required_channels inst v in
+      let options_for c = read_options model c ~m:(length c) in
+      let required = required v in
       if required = [] then
         (* The destination: activating it reads nothing.  Only one entry. *)
         [ label v [] ]
@@ -93,6 +99,12 @@ let successors_with inst (model_of : Spp.Path.node -> Model.t) state =
             List.map (fun c -> None :: List.map Option.some (options_for c)) required
           in
           List.map (fun combo -> label v (List.filter_map Fun.id combo)) (product per_channel))
-    (Instance.nodes inst)
+    nodes
+
+let successors_with inst (model_of : Spp.Path.node -> Model.t) state =
+  let chans = Engine.State.channels state in
+  successors_core ~nodes:(Instance.nodes inst)
+    ~required:(Model.required_channels inst)
+    ~length:(Channel.length chans) ~model_of
 
 let successors inst (model : Model.t) state = successors_with inst (fun _ -> model) state

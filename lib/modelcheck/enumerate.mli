@@ -24,3 +24,14 @@ val successors_with :
   Engine.State.t ->
   labeled list
 (** Heterogeneous variant: each node activates under its own model. *)
+
+val successors_core :
+  nodes:int list ->
+  required:(int -> Engine.Channel.id list) ->
+  length:(Engine.Channel.id -> int) ->
+  model_of:(int -> Engine.Model.t) ->
+  labeled list
+(** The enumeration itself, parametric in where the node list, per-node
+    required channel sets and queue lengths come from — used by the
+    protocol-generic explorer ([Gexplore.Make]).  Entry order is exactly
+    that of {!successors_with} for the corresponding inputs. *)

@@ -1,0 +1,517 @@
+(* Protocol-generic explicit-state exploration and divergence analysis
+   (PR 7).
+
+   [Make (P)] is {!Explore} + {!Oscillation} for any {!Engine.Protocol.S}:
+   breadth-first exploration of the reachable state graph under a
+   communication model (one canonical activation entry per observational
+   class, via {!Enumerate.successors_core}), channel-bound pruning and
+   state-count truncation exactly as in the SPP explorer, and the fair-cycle
+   divergence search over drop-stable strongly connected edge sets.
+
+   Differences from the SPP pair, all driven by the protocol hooks:
+
+   - Convergence is [P]'s predicate (via [E.State.converged]), not SPP
+     quiescence; converged states are excluded from the cycle search (they
+     are absorbing for every shipped protocol, and a fair cycle through a
+     "done" state is not divergence).
+   - Legacy oscillation demands a changing path assignment along the cycle;
+     generically a fair cycle diverges when some node's [P.observable]
+     changes along it, or — for protocols with [P.stuck_is_divergent] —
+     when the cycle is "doomed": no converged state is reachable from it at
+     all (a gossip rumor dropped on every copy).  The doomed clause is only
+     sound on a complete graph, so it is disabled under pruning or
+     truncation.
+   - The exact last-message channel collapse additionally requires
+     [P.idempotent] (push-sum messages carry mass; collapsing them would
+     be unsound even under reliable polling).
+
+   The [Protocols.Path_vector] instance of this functor is pinned by the
+   parity suite to the legacy explorer's verdicts and state counts. *)
+
+module Make (P : Engine.Protocol.S) = struct
+  module E = Engine.Generic.Make (P)
+
+  type config = Explore.config = { channel_bound : int; max_states : int }
+
+  let default_config = Explore.default_config
+
+  type edge = { dst : int; label : Enumerate.labeled }
+
+  type graph = {
+    states : E.State.t array;
+    adjacency : edge list array;
+    pruned : bool;
+    truncated : bool;
+  }
+
+  module StateTbl = Hashtbl.Make (struct
+    type t = E.State.t
+
+    let equal = E.State.equal
+    let hash = E.State.digest
+  end)
+
+  let collapsible inst (model_of : int -> Engine.Model.t) =
+    P.idempotent
+    && List.for_all
+         (fun v ->
+           let m = model_of v in
+           m.Engine.Model.rel = Engine.Model.Reliable
+           && m.Engine.Model.msg = Engine.Model.M_all)
+         (P.nodes inst)
+
+  (* Sequential BFS, the same queue discipline, intern-time [max_states]
+     bound and post-projection channel-bound check as
+     [Explore.explore_seq] — the state numbering of the path-vector
+     instance must be bit-identical to the legacy explorer's. *)
+  let explore_with ?(config = default_config) inst ~model_of =
+    let max_states = max 1 config.max_states in
+    let collapse =
+      if collapsible inst model_of then E.State.collapse_last else Fun.id
+    in
+    let index = StateTbl.create 1024 in
+    let states = ref [] and n_states = ref 0 in
+    let adjacency = ref [] in
+    let pruned = ref false and truncated = ref false in
+    let queue = Queue.create () in
+    let intern st =
+      match StateTbl.find_opt index st with
+      | Some i -> Some (i, false)
+      | None ->
+        if !n_states >= max_states then begin
+          truncated := true;
+          None
+        end
+        else begin
+          let i = !n_states in
+          StateTbl.add index st i;
+          states := st :: !states;
+          incr n_states;
+          Some (i, true)
+        end
+    in
+    let init = E.State.initial inst in
+    (match intern init with Some _ -> () | None -> assert false);
+    Queue.add (0, init) queue;
+    let required = P.in_channels inst in
+    let nodes = P.nodes inst in
+    while not (Queue.is_empty queue) do
+      let i, st = Queue.pop queue in
+      let succs =
+        Enumerate.successors_core ~nodes ~required
+          ~length:(E.State.channel_length st)
+          ~model_of
+      in
+      let edges =
+        List.filter_map
+          (fun (labeled : Enumerate.labeled) ->
+            let outcome =
+              E.Step.apply ~check:false inst st labeled.Enumerate.entry
+            in
+            let st' = E.State.project inst (collapse outcome.E.Step.state) in
+            if E.State.max_occupancy st' > config.channel_bound then begin
+              pruned := true;
+              None
+            end
+            else
+              match intern st' with
+              | None -> None
+              | Some (j, fresh) ->
+                if fresh then Queue.add (j, st') queue;
+                Some { dst = j; label = labeled })
+          succs
+      in
+      adjacency := (i, edges) :: !adjacency
+    done;
+    let states_arr = Array.of_list (List.rev !states) in
+    let adj = Array.make (Array.length states_arr) [] in
+    List.iter (fun (i, es) -> adj.(i) <- es) !adjacency;
+    { states = states_arr; adjacency = adj; pruned = !pruned; truncated = !truncated }
+
+  let explore ?config inst model =
+    explore_with ?config inst ~model_of:(fun _ -> model)
+
+  (* ---------------------------------------------------------------- *)
+  (* Divergence analysis: the {!Oscillation} fair-cycle search, with the
+     observable-change / doomed-cycle criterion in place of "pi changes". *)
+
+  type witness = {
+    prefix : Engine.Activation.t list;
+    cycle : Engine.Activation.t list;
+  }
+
+  type verdict = Converges | Diverges of witness | Unknown of string
+
+  let verdict_name = function
+    | Converges -> "converges"
+    | Diverges _ -> "diverges"
+    | Unknown _ -> "unknown"
+
+  let pp_verdict ppf = function
+    | Diverges w ->
+      Fmt.pf ppf "diverges (witness: %d-step prefix, %d-step fair cycle)"
+        (List.length w.prefix) (List.length w.cycle)
+    | Converges -> Fmt.string ppf "converges under every fair schedule"
+    | Unknown reason -> Fmt.pf ppf "unknown (%s)" reason
+
+  let tracked_channels inst =
+    List.sort_uniq Engine.Channel.compare_id
+      (List.concat_map (P.in_channels inst) (P.nodes inst))
+
+  let observable_differs inst a b =
+    List.exists
+      (fun v ->
+        P.observable inst v (E.State.local a v)
+        <> P.observable inst v (E.State.local b v))
+      (P.nodes inst)
+
+  module CS = Set.Make (struct
+    type t = Engine.Channel.id
+
+    let compare = Engine.Channel.compare_id
+  end)
+
+  (* Check one drop-stable strongly connected edge set; on success build
+     the witness cycle: a closed walk from [start] covering every
+     obligation.  [stuck_ok i] holds when a cycle at [i] with no observable
+     change still counts as divergence (doomed + [P.stuck_is_divergent]). *)
+  let evaluate inst graph ~tracked ~stuck_ok nodes edges =
+    let reads =
+      List.fold_left
+        (fun acc (_, (e : edge)) ->
+          List.fold_left (fun acc c -> CS.add c acc) acc e.label.Enumerate.reads)
+        CS.empty edges
+    in
+    let all_read = List.for_all (fun c -> CS.mem c reads) tracked in
+    let obs_changes =
+      match nodes with
+      | [] -> false
+      | first :: rest ->
+        List.exists
+          (fun other ->
+            observable_differs inst graph.states.(first) graph.states.(other))
+          rest
+    in
+    let stuck = (not obs_changes) && List.for_all stuck_ok nodes in
+    if not (all_read && (obs_changes || stuck)) then None
+    else begin
+      let n = Array.length graph.states in
+      let adj = Array.make n [] in
+      List.iter
+        (fun (src, (e : edge)) -> adj.(src) <- (e.dst, e) :: adj.(src))
+        edges;
+      let path_entries path =
+        List.map (fun (e : edge) -> e.label.Enumerate.entry) path
+      in
+      let bfs ~src ~dst =
+        let prev = Array.make n None in
+        let seen = Array.make n false in
+        let q = Queue.create () in
+        seen.(src) <- true;
+        Queue.add src q;
+        while (not seen.(dst)) && not (Queue.is_empty q) do
+          let v = Queue.pop q in
+          List.iter
+            (fun ((w, e) : int * edge) ->
+              if not seen.(w) then begin
+                seen.(w) <- true;
+                prev.(w) <- Some (v, e);
+                Queue.add w q
+              end)
+            adj.(v)
+        done;
+        if not seen.(dst) then None
+        else begin
+          let rec build acc v =
+            match prev.(v) with None -> acc | Some (u, e) -> build (e :: acc) u
+          in
+          Some (build [] dst)
+        end
+      in
+      let start = List.hd nodes in
+      let loop_via (src, (e : edge)) =
+        match (bfs ~src:start ~dst:src, bfs ~src:e.dst ~dst:start) with
+        | Some p1, Some p2 -> Some (p1 @ [ e ] @ p2)
+        | _ -> None
+      in
+      let walk = ref [] in
+      let ok = ref true in
+      let append_loop edge =
+        match loop_via edge with
+        | Some l -> walk := !walk @ l
+        | None -> ok := false
+      in
+      (* (a) an observable-changing loop — or, for a stuck cycle, any loop
+         at all (so the walk is non-empty even with no tracked channels). *)
+      (if obs_changes then
+         match
+           List.find_opt
+             (fun other ->
+               observable_differs inst graph.states.(start) graph.states.(other))
+             nodes
+         with
+         | Some s2 -> (
+           match (bfs ~src:start ~dst:s2, bfs ~src:s2 ~dst:start) with
+           | Some p1, Some p2 -> walk := p1 @ p2
+           | _ -> ok := false)
+         | None -> ok := false
+       else
+         match List.find_opt (fun (src, _) -> src = start) edges with
+         | Some edge -> append_loop edge
+         | None -> ok := false);
+      (* (b) cover every tracked channel *)
+      let covered () =
+        List.fold_left
+          (fun acc (e : edge) ->
+            List.fold_left (fun acc c -> CS.add c acc) acc e.label.Enumerate.reads)
+          CS.empty !walk
+      in
+      List.iter
+        (fun c ->
+          if !ok && not (CS.mem c (covered ())) then begin
+            let reader =
+              List.find_opt
+                (fun (_, (e : edge)) ->
+                  List.exists (Engine.Channel.equal_id c) e.label.Enumerate.reads)
+                edges
+            in
+            match reader with Some edge -> append_loop edge | None -> ok := false
+          end)
+        tracked;
+      (* (c) clean every dropped channel; appended loops may add drops, so
+         iterate (bounded by the number of channels). *)
+      let rec fix_drops budget =
+        if !ok && budget > 0 then begin
+          let drops, cleans =
+            List.fold_left
+              (fun (d, k) (e : edge) ->
+                ( List.fold_left (fun d c -> CS.add c d) d e.label.Enumerate.drops,
+                  List.fold_left (fun k c -> CS.add c k) k e.label.Enumerate.cleans
+                ))
+              (CS.empty, CS.empty) !walk
+          in
+          let missing = CS.diff drops cleans in
+          if not (CS.is_empty missing) then begin
+            CS.iter
+              (fun c ->
+                let cleaner =
+                  List.find_opt
+                    (fun (_, (e : edge)) ->
+                      List.exists (Engine.Channel.equal_id c)
+                        e.label.Enumerate.cleans)
+                    edges
+                in
+                match cleaner with
+                | Some edge -> append_loop edge
+                | None -> ok := false)
+              missing;
+            fix_drops (budget - 1)
+          end
+        end
+      in
+      fix_drops (List.length tracked + 1);
+      let final_drops, final_cleans, final_reads =
+        List.fold_left
+          (fun (d, k, r) (e : edge) ->
+            ( List.fold_left (fun d c -> CS.add c d) d e.label.Enumerate.drops,
+              List.fold_left (fun k c -> CS.add c k) k e.label.Enumerate.cleans,
+              List.fold_left (fun r c -> CS.add c r) r e.label.Enumerate.reads ))
+          (CS.empty, CS.empty, CS.empty) !walk
+      in
+      if
+        !ok && !walk <> []
+        && CS.subset final_drops final_cleans
+        && List.for_all (fun c -> CS.mem c final_reads) tracked
+      then Some (start, path_entries !walk)
+      else None
+    end
+
+  (* Fixpoint: drop edges whose drops are not covered by clean reads in the
+     current edge set, then re-split into SCCs and recurse. *)
+  let rec search inst graph ~tracked ~stuck_ok edges =
+    let cleans =
+      List.fold_left
+        (fun acc (_, (e : edge)) ->
+          List.fold_left (fun acc c -> CS.add c acc) acc e.label.Enumerate.cleans)
+        CS.empty edges
+    in
+    let keep (_, (e : edge)) =
+      List.for_all (fun c -> CS.mem c cleans) e.label.Enumerate.drops
+    in
+    let kept = List.filter keep edges in
+    if List.length kept = List.length edges then
+      split_sccs inst graph ~tracked ~stuck_ok kept ~recurse:false
+    else split_sccs inst graph ~tracked ~stuck_ok kept ~recurse:true
+
+  and split_sccs inst graph ~tracked ~stuck_ok edges ~recurse =
+    if edges = [] then None
+    else begin
+      let n = Array.length graph.states in
+      let adj = Array.make n [] in
+      List.iter (fun (src, (e : edge)) -> adj.(src) <- e.dst :: adj.(src)) edges;
+      let comp, _ = Scc.tarjan n (fun i -> adj.(i)) in
+      let by_comp = Hashtbl.create 17 in
+      List.iter
+        (fun ((src, (e : edge)) as edge) ->
+          if comp.(src) = comp.(e.dst) then begin
+            let k = comp.(src) in
+            Hashtbl.replace by_comp k
+              (edge :: Option.value ~default:[] (Hashtbl.find_opt by_comp k))
+          end)
+        edges;
+      Hashtbl.fold
+        (fun _ comp_edges acc ->
+          match acc with
+          | Some _ -> acc
+          | None ->
+            let nodes =
+              List.sort_uniq compare
+                (List.concat_map
+                   (fun (src, (e : edge)) -> [ src; e.dst ])
+                   comp_edges)
+            in
+            if recurse then search inst graph ~tracked ~stuck_ok comp_edges
+            else evaluate inst graph ~tracked ~stuck_ok nodes comp_edges)
+        by_comp None
+    end
+
+  let analyze_graph inst graph =
+    let tracked = tracked_channels inst in
+    let n = Array.length graph.states in
+    let converged = Array.map (E.State.converged inst) graph.states in
+    (* [can_converge.(i)]: some converged state is reachable from i over
+       the full graph — reverse BFS from every converged state. *)
+    let can_converge = Array.copy converged in
+    let radj = Array.make n [] in
+    Array.iteri
+      (fun i es -> List.iter (fun (e : edge) -> radj.(e.dst) <- i :: radj.(e.dst)) es)
+      graph.adjacency;
+    let q = Queue.create () in
+    Array.iteri (fun i c -> if c then Queue.add i q) converged;
+    while not (Queue.is_empty q) do
+      let v = Queue.pop q in
+      List.iter
+        (fun u ->
+          if not can_converge.(u) then begin
+            can_converge.(u) <- true;
+            Queue.add u q
+          end)
+        radj.(v)
+    done;
+    (* A fair cycle through a converged state is not divergence: restrict
+       the search to edges between non-converged states. *)
+    let all_edges =
+      List.concat
+        (List.init n (fun i ->
+             if converged.(i) then []
+             else
+               List.filter_map
+                 (fun (e : edge) ->
+                   if converged.(e.dst) then None else Some (i, e))
+                 graph.adjacency.(i)))
+    in
+    (* The doomed clause certifies "no converged state is reachable", which
+       a pruned or truncated graph cannot: a dropped edge might be the
+       escape route. *)
+    let stuck_ok i =
+      P.stuck_is_divergent
+      && (not graph.pruned)
+      && (not graph.truncated)
+      && not can_converge.(i)
+    in
+    match split_sccs inst graph ~tracked ~stuck_ok all_edges ~recurse:true with
+    | Some (start, cycle) ->
+      let full_adj = Array.make n [] in
+      Array.iteri
+        (fun i es ->
+          full_adj.(i) <-
+            List.map (fun (e : edge) -> (e.dst, e.label.Enumerate.entry)) es)
+        graph.adjacency;
+      let prev = Array.make n None in
+      let seen = Array.make n false in
+      let bq = Queue.create () in
+      seen.(0) <- true;
+      Queue.add 0 bq;
+      while (not seen.(start)) && not (Queue.is_empty bq) do
+        let v = Queue.pop bq in
+        List.iter
+          (fun (w, entry) ->
+            if not seen.(w) then begin
+              seen.(w) <- true;
+              prev.(w) <- Some (v, entry);
+              Queue.add w bq
+            end)
+          full_adj.(v)
+      done;
+      if not seen.(start) then Unknown "cycle start unreachable (internal error)"
+      else begin
+        let rec build acc v =
+          match prev.(v) with
+          | None -> acc
+          | Some (u, entry) -> build (entry :: acc) u
+        in
+        Diverges { prefix = build [] start; cycle }
+      end
+    | None ->
+      if graph.pruned then Unknown "channel bound pruned some writes"
+      else if graph.truncated then Unknown "state limit reached"
+      else Converges
+
+  let analyze ?config inst model =
+    analyze_graph inst (explore ?config inst model)
+
+  (* ---------------------------------------------------------------- *)
+  (* Witness verification by replay, independent of the search above. *)
+
+  let cycle_fair_from inst state cycle =
+    let _, reads, drops, cleans =
+      List.fold_left
+        (fun (st, reads, drops, cleans) entry ->
+          let o = E.Step.apply inst st entry in
+          let reads =
+            List.fold_left
+              (fun acc (r : Engine.Activation.read) ->
+                CS.add r.Engine.Activation.chan acc)
+              reads entry.Engine.Activation.reads
+          in
+          let dropped_of c =
+            match List.assoc_opt c o.E.Step.dropped with
+            | Some msgs -> List.length msgs
+            | None -> 0
+          in
+          let drops =
+            List.fold_left (fun acc (c, _) -> CS.add c acc) drops o.E.Step.dropped
+          in
+          let cleans =
+            List.fold_left
+              (fun acc (c, msgs) ->
+                if List.length msgs > dropped_of c then CS.add c acc else acc)
+              cleans o.E.Step.processed
+          in
+          (o.E.Step.state, reads, drops, cleans))
+        (state, CS.empty, CS.empty, CS.empty)
+        cycle
+    in
+    List.for_all (fun c -> CS.mem c reads) (tracked_channels inst)
+    && CS.subset drops cleans
+
+  let verify_witness ?max_steps inst model w =
+    let max_steps =
+      match max_steps with
+      | Some n -> n
+      | None -> max 5000 (List.length w.prefix + (4 * List.length w.cycle) + 10)
+    in
+    let after_prefix =
+      List.fold_left
+        (fun st e -> (E.Step.apply inst st e).E.Step.state)
+        (E.State.initial inst) w.prefix
+    in
+    let sched = Engine.Scheduler.prefixed w.prefix w.cycle in
+    let run = E.Executor.run ~max_steps inst sched in
+    List.for_all (E.validates inst model) (w.prefix @ w.cycle)
+    && cycle_fair_from inst after_prefix w.cycle
+    &&
+    match run.E.Executor.stop with
+    | E.Executor.Cycle _ -> true
+    | E.Executor.Converged | E.Executor.Exhausted -> false
+end

@@ -1,0 +1,64 @@
+(* Rumor-spreading gossip as a generic protocol.
+
+   One source node starts infected; an infected node announces the rumor to
+   every neighbor exactly once (announce-once keeps the state space finite);
+   any received message infects.  Convergence is "every node infected" —
+   channels need not drain, so a converged state may still carry in-flight
+   rumor copies.
+
+   The infected set grows monotonically (pinned by a QCheck property), so
+   converged states are absorbing.  Under reliable models the rumor can
+   never be lost and every fair schedule converges; under unreliable models
+   dropping the right copies strands the uninfected remainder forever with
+   no observable ever changing again — exactly the stuck fair cycles that
+   [stuck_is_divergent] makes the generic analysis report as divergence. *)
+
+let name = "gossip"
+
+type instance = { topo : Topo.t; source : int }
+
+let make ?(source = 0) topo =
+  if source < 0 || source >= topo.Topo.n then invalid_arg "Gossip.make: bad source";
+  { topo; source }
+
+let nodes t = Topo.nodes t.topo
+let node_name t v = Topo.node_name t.topo v
+let in_channels t v = Topo.in_channels t.topo v
+
+type local = { infected : bool; announced : bool }
+
+let initial_local t v = { infected = v = t.source; announced = false }
+let equal_local (a : local) b = a = b
+let compare_local (a : local) b = compare a b
+
+let encode l = (if l.infected then 2 else 0) + if l.announced then 1 else 0
+let local_digest v l = Engine.Mix.mix3 0x63 v (encode l)
+let observable _t _v l = if l.infected then 1 else 0
+
+(* The only message is the rumor itself. *)
+let rumor = 1
+let pp_msg _t ppf m =
+  if m = rumor then Fmt.string ppf "rumor" else Fmt.pf ppf "msg%d" m
+
+let receive _t _v l ~src:_ kept =
+  if kept = [] then l else { l with infected = true }
+
+let update t v l =
+  if l.infected && not l.announced then
+    ( { l with announced = true },
+      List.map
+        (fun u -> (Engine.Channel.id ~src:v ~dst:u, rumor))
+        (Topo.neighbors t.topo v) )
+  else (l, [])
+
+let node_converged _t _v l = l.infected
+let drains = false
+let idempotent = true
+let stuck_is_divergent = true
+let project_msg _t ~dst:_ m = m
+let project_local _t _v l = l
+
+let pp_local _t _v ppf l =
+  Fmt.pf ppf "%s%s"
+    (if l.infected then "infected" else "susceptible")
+    (if l.announced then "+announced" else "")

@@ -1,0 +1,131 @@
+(* Push-sum averaging (Kempe-Dobra-Gehrke) as a generic protocol.
+
+   Each node holds a (sum, weight) pair, initially (value, 1).  On
+   activation it keeps one (deg+1)-th of its pair and sends one share to
+   each neighbor; received shares are added in.  The estimate s/w of every
+   node converges to the true average — provided no share is ever lost.
+
+   Messages must be ints for the engine, so (ds, dw) pairs are interned in
+   a process-global mutex-protected table (the generic engine may run
+   executors on several domains).  Interning floats is exact: equal pairs
+   get equal ids, so state equality stays semantic.
+
+   The protocol's signature invariant is mass conservation: the sum of all
+   local [s] plus all in-flight message [ds] is constant under every
+   reliable model (up to float rounding — shares are computed by
+   multiplication, so re-adding them loses ulps).  Under unreliable models
+   every dropped message removes its share permanently: the executor's
+   dropped-message lists reconcile the deficit exactly, and the 24-model
+   bench reports the surviving mass fraction rather than hiding it.
+
+   The state space is infinite (fresh float pairs every round), so push-sum
+   is executed and measured, never explored: [Gexplore] would simply run
+   to its state bound and return Unknown. *)
+
+let name = "push-sum"
+
+type instance = {
+  topo : Topo.t;
+  values : float array;
+  eps : float;
+  avg : float;
+}
+
+let make ?(eps = 1e-3) topo values =
+  if Array.length values <> topo.Topo.n then
+    invalid_arg "Pushsum.make: one value per node required";
+  if not (eps > 0.) then invalid_arg "Pushsum.make: eps must be positive";
+  let avg = Array.fold_left ( +. ) 0. values /. float_of_int topo.Topo.n in
+  { topo; values; eps; avg }
+
+(* A default value assignment that makes convergence measurable: node i
+   starts with value i, so initial estimates span [0, n). *)
+let linear ?eps topo =
+  make ?eps topo (Array.init topo.Topo.n float_of_int)
+
+let average t = t.avg
+let nodes t = Topo.nodes t.topo
+let node_name t v = Topo.node_name t.topo v
+let in_channels t v = Topo.in_channels t.topo v
+
+type local = { s : float; w : float }
+
+let initial_local t v = { s = t.values.(v); w = 1. }
+let equal_local (a : local) b = a.s = b.s && a.w = b.w
+let compare_local (a : local) b = compare (a.s, a.w) (b.s, b.w)
+let local_digest v (l : local) = Hashtbl.hash (v, l.s, l.w)
+let observable _t v l = local_digest v l
+
+(* -- message interning -------------------------------------------------- *)
+
+let mu = Mutex.create ()
+let tbl : (float * float, int) Hashtbl.t = Hashtbl.create 256
+let rev : (float * float) array ref = ref (Array.make 256 (0., 0.))
+let n_interned = ref 0
+
+let intern p =
+  Mutex.lock mu;
+  let id =
+    match Hashtbl.find_opt tbl p with
+    | Some id -> id
+    | None ->
+      let id = !n_interned in
+      if id = Array.length !rev then begin
+        let bigger = Array.make (2 * id) (0., 0.) in
+        Array.blit !rev 0 bigger 0 id;
+        rev := bigger
+      end;
+      !rev.(id) <- p;
+      Hashtbl.replace tbl p id;
+      incr n_interned;
+      id
+  in
+  Mutex.unlock mu;
+  id
+
+let payload id =
+  Mutex.lock mu;
+  if id < 0 || id >= !n_interned then begin
+    Mutex.unlock mu;
+    invalid_arg "Pushsum.payload: unknown message id"
+  end
+  else begin
+    let p = !rev.(id) in
+    Mutex.unlock mu;
+    p
+  end
+
+let pp_msg _t ppf m =
+  let ds, dw = payload m in
+  Fmt.pf ppf "(%g,%g)" ds dw
+
+(* -- semantics ---------------------------------------------------------- *)
+
+let receive _t _v l ~src:_ kept =
+  List.fold_left
+    (fun (l : local) m ->
+      let ds, dw = payload m in
+      { s = l.s +. ds; w = l.w +. dw })
+    l kept
+
+let update t v (l : local) =
+  let deg = Topo.degree t.topo v in
+  let alpha = 1. /. float_of_int (deg + 1) in
+  let share = { s = alpha *. l.s; w = alpha *. l.w } in
+  let msg = intern (share.s, share.w) in
+  ( share,
+    List.map (fun u -> (Engine.Channel.id ~src:v ~dst:u, msg)) (Topo.neighbors t.topo v) )
+
+let node_converged t _v (l : local) =
+  l.w > 0. && Float.abs ((l.s /. l.w) -. t.avg) <= t.eps
+
+let drains = false
+
+(* Every message carries mass: collapsing a queue to its last element would
+   destroy it, and a stuck cycle is meaningless for an infinite state
+   space. *)
+let idempotent = false
+let stuck_is_divergent = false
+let project_msg _t ~dst:_ m = m
+let project_local _t _v l = l
+let pp_local _t _v ppf (l : local) = Fmt.pf ppf "(%g,%g)~%g" l.s l.w (l.s /. l.w)

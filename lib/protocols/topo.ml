@@ -1,0 +1,45 @@
+(* Plain undirected topologies for the non-SPP protocols.  An SPP instance
+   carries rankings and permitted paths; gossip and push-sum only need the
+   graph, so they share this little record instead. *)
+
+type t = { name : string; n : int; adj : int list array }
+
+let check_n what n = if n < 1 then invalid_arg ("Topo." ^ what ^ ": n must be >= 1")
+
+let make ~name ~n edges =
+  check_n "make" n;
+  let adj = Array.make n [] in
+  List.iter
+    (fun (u, v) ->
+      if u < 0 || u >= n || v < 0 || v >= n || u = v then
+        invalid_arg "Topo.make: bad edge";
+      adj.(u) <- v :: adj.(u);
+      adj.(v) <- u :: adj.(v))
+    edges;
+  { name; n; adj = Array.map (List.sort_uniq compare) adj }
+
+let ring n =
+  if n < 3 then invalid_arg "Topo.ring: n must be >= 3";
+  make ~name:(Printf.sprintf "ring%d" n) ~n
+    (List.init n (fun i -> (i, (i + 1) mod n)))
+
+(* Node 0 is the hub. *)
+let star n =
+  if n < 2 then invalid_arg "Topo.star: n must be >= 2";
+  make ~name:(Printf.sprintf "star%d" n) ~n (List.init (n - 1) (fun i -> (0, i + 1)))
+
+let complete n =
+  if n < 2 then invalid_arg "Topo.complete: n must be >= 2";
+  make ~name:(Printf.sprintf "complete%d" n) ~n
+    (List.concat
+       (List.init n (fun u -> List.init u (fun v -> (u, v)))))
+
+let nodes t = List.init t.n Fun.id
+let neighbors t v = t.adj.(v)
+let degree t v = List.length t.adj.(v)
+let node_name _t v = Printf.sprintf "n%d" v
+
+let in_channels t v =
+  List.map (fun u -> Engine.Channel.id ~src:u ~dst:v) t.adj.(v)
+
+let all_named = [ ("ring", ring); ("star", star); ("complete", complete) ]

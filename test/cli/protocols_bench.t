@@ -1,0 +1,50 @@
+The protocol sweep CLI: bad arguments are rejected with a usage message
+and exit code 2, never an exception trace.
+
+  $ bench_protocols --budget enormous 2>&1 | head -2
+  bench_protocols: unknown budget "enormous" (expected smoke or full)
+  usage: bench_protocols [-o FILE] [--budget smoke|full]
+
+  $ bench_protocols --budget enormous 2>/dev/null
+  [2]
+
+  $ bench_protocols --frobnicate 2>/dev/null
+  [2]
+
+  $ bench_protocols -o 2>/dev/null
+  [2]
+
+  $ bench_protocols --compare-ignoring-timings just-one 2>/dev/null
+  [2]
+
+The smoke sweep itself is deterministic: every recorded quantity except
+wall times comes from sequential executor runs with no randomness.  The
+summary's closing lines lock the headline counts — the exhaustive gossip
+verdicts split exactly along the reliability axis (36 reliable cases
+converge, 36 unreliable diverge):
+
+  $ bench_protocols -o sweep.json --budget smoke | tail -3
+    gossip verdicts: 36 converges, 36 diverges
+    timed rows: 24 (intervals 1,2,4,8)
+  wrote sweep.json
+
+An artifact always compares equal to itself modulo timings:
+
+  $ bench_protocols --compare-ignoring-timings sweep.json sweep.json
+  sweep.json and sweep.json are identical modulo timings
+
+Any semantic difference is reported with its JSON path and exit code 1:
+
+  $ sed 's/"budget":"smoke"/"budget":"full"/' sweep.json > tampered.json
+  $ bench_protocols --compare-ignoring-timings sweep.json tampered.json
+  bench_protocols: sweep.json and tampered.json differ at $.budget
+  [1]
+
+A field the comparer does not know means the artifact came from a
+different writer; trusting the diff would be meaningless, so that is a
+hard error (exit 2), not a pass:
+
+  $ echo '{"schema":"commrouting/bench_protocols/v1","mystery":1}' > alien.json
+  $ bench_protocols --compare-ignoring-timings alien.json sweep.json
+  bench_protocols: alien.json has a field this comparer does not know at $.mystery; extend known_keys or volatile_keys before trusting the verdict
+  [2]

@@ -1,0 +1,398 @@
+(* The protocol-generic engine core (Engine.Generic / Modelcheck.Gexplore)
+   and the three shipped protocols.
+
+   The heart of the suite is parity: [Gexplore.Make (Path_vector)] must
+   reproduce the legacy explorer bit-for-bit — same state counts, same
+   verdicts (including Unknown reasons), same pruned/truncated flags — on
+   the paper's gadgets across all 24 models, including the Fig. 6 deep
+   polling cases at the default config.  Around it: gossip's infected-set
+   monotonicity and its clean R-converges/U-diverges split with verified
+   witnesses, push-sum's mass conservation under every reliable model and
+   exact drop reconciliation under the unreliable ones, and the generic
+   validators/schedulers/timed wrapper. *)
+
+open Spp
+open Engine
+open Modelcheck
+module GPV = Gexplore.Make (Protocols.Path_vector)
+module GG = Gexplore.Make (Protocols.Gossip)
+module EG = GG.E
+module EPS = Generic.Make (Protocols.Pushsum)
+
+let model s = Option.get (Model.of_string s)
+
+(* ------------------------------------------------------------------ *)
+(* Path-vector parity against the legacy explorer. *)
+
+let legacy_verdict inst g = Oscillation.analyze_graph inst g
+
+let legacy_name = function
+  | Oscillation.Oscillates _ -> "diverges"
+  | Oscillation.Converges -> "converges"
+  | Oscillation.Unknown r -> "unknown: " ^ r
+
+let generic_name = function
+  | GPV.Diverges _ -> "diverges"
+  | GPV.Converges -> "converges"
+  | GPV.Unknown r -> "unknown: " ^ r
+
+let check_parity name inst config m =
+  let tag = Printf.sprintf "%s/%s" name (Model.to_string m) in
+  let lg = Explore.explore ~config ~domains:1 inst m in
+  let gg = GPV.explore ~config inst m in
+  Alcotest.(check int)
+    (tag ^ " states")
+    (Array.length lg.Explore.states)
+    (Array.length gg.GPV.states);
+  Alcotest.(check bool) (tag ^ " pruned") lg.Explore.pruned gg.GPV.pruned;
+  Alcotest.(check bool) (tag ^ " truncated") lg.Explore.truncated gg.GPV.truncated;
+  Alcotest.(check string)
+    (tag ^ " verdict")
+    (legacy_name (legacy_verdict inst lg))
+    (generic_name (GPV.analyze_graph inst gg))
+
+let test_pv_parity_disagree () =
+  List.iter (check_parity "DISAGREE" Gadgets.disagree Explore.default_config) Model.all
+
+let test_pv_parity_fig6_bounded () =
+  let config = { Explore.channel_bound = 2; max_states = 800 } in
+  List.iter (check_parity "FIG6" Gadgets.fig6 config) Model.all
+
+(* The Fig. 6 deep polling cases of the bench, at the default config. *)
+let test_pv_parity_fig6_deep () =
+  List.iter
+    (fun m -> check_parity "FIG6" Gadgets.fig6 Explore.default_config (model m))
+    [ "R1A"; "RMA" ]
+
+let test_pv_witness_verifies () =
+  List.iter
+    (fun mname ->
+      let m = model mname in
+      match GPV.analyze Gadgets.disagree m with
+      | GPV.Diverges w ->
+        Alcotest.(check bool)
+          (mname ^ " witness replays")
+          true
+          (GPV.verify_witness Gadgets.disagree m w)
+      | v -> Alcotest.failf "DISAGREE %s: expected divergence, got %s" mname (generic_name v))
+    [ "R1O"; "RMS"; "U1S" ]
+
+(* The generic executor agrees with the legacy one on identical round-robin
+   schedules (the generic cycle mirrors Scheduler.round_robin exactly). *)
+let test_pv_executor_matches_legacy () =
+  List.iter
+    (fun inst ->
+      List.iter
+        (fun mname ->
+          let m = model mname in
+          let legacy = Executor.run ~max_steps:2000 inst (Scheduler.round_robin inst m) in
+          let generic =
+            GPV.E.Executor.run ~max_steps:2000 inst (GPV.E.round_robin inst m)
+          in
+          let l_conv = legacy.Executor.stop = Executor.Quiescent in
+          let g_conv = generic.GPV.E.Executor.stop = GPV.E.Executor.Converged in
+          Alcotest.(check bool) (mname ^ " converged") l_conv g_conv)
+        [ "R1O"; "REA"; "RMS"; "UMS" ])
+    [ Gadgets.disagree; Gadgets.good_gadget; Gadgets.shortest_paths ~n:4 ]
+
+(* ------------------------------------------------------------------ *)
+(* Gossip. *)
+
+let gossip_config = { Explore.channel_bound = 2; max_states = 2000 }
+
+let infected_set inst st =
+  List.filter
+    (fun v -> (EG.State.local st v).Protocols.Gossip.infected)
+    (Protocols.Gossip.nodes inst)
+
+let subset a b = List.for_all (fun x -> List.mem x b) a
+
+(* Infected sets only grow along any explored edge. *)
+let gossip_monotone =
+  QCheck2.Test.make ~name:"gossip infected set is monotone" ~count:40
+    QCheck2.Gen.(
+      quad (int_range 0 2) (int_range 3 5) (int_range 0 23) (int_range 0 5))
+    (fun (kind, n, mi, src) ->
+      let topo =
+        match kind with
+        | 0 -> Protocols.Topo.ring n
+        | 1 -> Protocols.Topo.star n
+        | _ -> Protocols.Topo.complete n
+      in
+      let inst = Protocols.Gossip.make ~source:(src mod n) topo in
+      let m = List.nth Model.all mi in
+      let g = GG.explore ~config:gossip_config inst m in
+      Array.for_all
+        (fun i ->
+          let from = infected_set inst g.GG.states.(i) in
+          List.for_all
+            (fun (e : GG.edge) -> subset from (infected_set inst g.GG.states.(e.GG.dst)))
+            g.GG.adjacency.(i))
+        (Array.init (Array.length g.GG.states) Fun.id))
+
+(* Reliable models can never lose the rumor: every fair schedule converges.
+   Unreliable models can drop every copy: divergence, with a witness the
+   executor replays.  (The witness replay IS the executor/explorer
+   agreement check on the divergent side; on the convergent side the
+   canonical fair schedule must reach the verdict's promised fixpoint.) *)
+let test_gossip_verdicts () =
+  let inst = Protocols.Gossip.make (Protocols.Topo.ring 4) in
+  List.iter
+    (fun (m : Model.t) ->
+      let v = GG.analyze ~config:gossip_config inst m in
+      match (m.Model.rel, v) with
+      | Model.Reliable, GG.Converges ->
+        Alcotest.(check bool)
+          (Model.to_string m ^ " round robin converges")
+          true
+          (EG.Executor.converges ~max_steps:2000 inst (EG.round_robin inst m))
+      | Model.Unreliable, GG.Diverges w ->
+        Alcotest.(check bool)
+          (Model.to_string m ^ " witness replays")
+          true (GG.verify_witness inst m w)
+      | _, v ->
+        Alcotest.failf "gossip %s: unexpected verdict %s" (Model.to_string m)
+          (GG.verdict_name v))
+    Model.all
+
+(* A deterministic stuck run: announce, drop both rumor copies, then spin a
+   fair dropless cycle — the generic executor must detect the state/phase
+   cycle, and the state must not count as converged. *)
+let test_gossip_cycle_detected () =
+  let inst = Protocols.Gossip.make (Protocols.Topo.ring 3) in
+  let m = model "UEA" in
+  let prefix =
+    [
+      Activation.single 0 [];
+      Activation.single 1 [ Activation.read ~drops:[ 1 ] (Channel.id ~src:0 ~dst:1) ];
+      Activation.single 2 [ Activation.read ~drops:[ 1 ] (Channel.id ~src:0 ~dst:2) ];
+    ]
+  in
+  let sched = Scheduler.prefixed prefix (EG.round_robin_cycle inst m) in
+  let run = EG.Executor.run ~max_steps:200 inst sched in
+  (match run.EG.Executor.stop with
+  | EG.Executor.Cycle _ -> ()
+  | s -> Alcotest.failf "expected a cycle, got %a" EG.Executor.pp_stop s);
+  Alcotest.(check bool)
+    "stuck state is not converged" false
+    (EG.State.converged inst run.EG.Executor.final)
+
+let test_gossip_timed () =
+  let inst = Protocols.Gossip.make (Protocols.Topo.star 5) in
+  List.iter
+    (fun (i, (r : EG.Timed.result)) ->
+      Alcotest.(check bool) (Printf.sprintf "mrai=%d converged" i) true r.EG.Timed.converged)
+    (EG.Timed.mrai_sweep ~intervals:[ 1; 2; 4 ] inst)
+
+(* ------------------------------------------------------------------ *)
+(* Push-sum: mass conservation and drop reconciliation. *)
+
+let ps_mass inst st =
+  List.fold_left
+    (fun acc v -> acc +. (EPS.State.local st v).Protocols.Pushsum.s)
+    0.
+    (Protocols.Pushsum.nodes inst)
+  +. List.fold_left
+       (fun acc (_, msgs) ->
+         List.fold_left (fun a m -> a +. fst (Protocols.Pushsum.payload m)) acc msgs)
+       0.
+       (EPS.State.channel_bindings st)
+
+let dropped_mass (r : EPS.Executor.step_record) =
+  List.fold_left
+    (fun acc (_, msgs) ->
+      List.fold_left (fun a m -> a +. fst (Protocols.Pushsum.payload m)) acc msgs)
+    0. r.EPS.Executor.outcome.EPS.Step.dropped
+
+(* Total mass (locals + in-flight) is invariant under every reliable model,
+   at every step of the run, up to float rounding. *)
+let test_pushsum_mass_reliable () =
+  let inst = Protocols.Pushsum.linear (Protocols.Topo.ring 4) in
+  let initial = ps_mass inst (EPS.State.initial inst) in
+  List.iter
+    (fun (m : Model.t) ->
+      let worst = ref 0. in
+      let run =
+        EPS.Executor.run ~max_steps:500
+          ~on_step:(fun r ->
+            let dev =
+              Float.abs (ps_mass inst r.EPS.Executor.outcome.EPS.Step.state -. initial)
+            in
+            if dev > !worst then worst := dev)
+          inst (EPS.round_robin inst m)
+      in
+      ignore run;
+      Alcotest.(check bool)
+        (Model.to_string m ^ " conserves mass")
+        true
+        (!worst <= 1e-9 *. Float.abs initial))
+    Model.reliable
+
+(* Under unreliable models the deficit is exactly the dropped messages'
+   mass: final mass + dropped mass = initial mass. *)
+let test_pushsum_drop_reconciliation () =
+  let inst = Protocols.Pushsum.linear (Protocols.Topo.ring 4) in
+  let initial = ps_mass inst (EPS.State.initial inst) in
+  List.iter
+    (fun (m : Model.t) ->
+      List.iter
+        (fun every ->
+          let dropped = ref 0. in
+          let run =
+            EPS.Executor.run ~max_steps:500
+              ~on_step:(fun r -> dropped := !dropped +. dropped_mass r)
+              inst
+              (EPS.round_robin_lossy ~every inst m)
+          in
+          let final = ps_mass inst run.EPS.Executor.final in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s every=%d reconciles" (Model.to_string m) every)
+            true
+            (Float.abs (final +. !dropped -. initial) <= 1e-9 *. Float.abs initial))
+        [ 2; 5 ])
+    Model.unreliable
+
+(* Estimates actually reach the true average under the reliable polling
+   round robin. *)
+let test_pushsum_converges () =
+  let inst = Protocols.Pushsum.linear ~eps:1e-3 (Protocols.Topo.ring 5) in
+  let run = EPS.Executor.run ~max_steps:5000 inst (EPS.round_robin inst (model "REA")) in
+  (match run.EPS.Executor.stop with
+  | EPS.Executor.Converged -> ()
+  | s -> Alcotest.failf "push-sum REA: expected convergence, got %a" EPS.Executor.pp_stop s);
+  let avg = Protocols.Pushsum.average inst in
+  List.iter
+    (fun v ->
+      let l = EPS.State.local run.EPS.Executor.final v in
+      Alcotest.(check bool)
+        (Printf.sprintf "node %d estimate" v)
+        true
+        (Float.abs ((l.Protocols.Pushsum.s /. l.Protocols.Pushsum.w) -. avg) <= 1e-3))
+    (Protocols.Pushsum.nodes inst)
+
+(* Mass lost to drops persists: a lossy run's estimates can settle, but its
+   total mass is strictly below the initial (the bench reports this rather
+   than hiding it). *)
+let test_pushsum_lossy_loses_mass () =
+  let inst = Protocols.Pushsum.linear (Protocols.Topo.ring 4) in
+  let initial = ps_mass inst (EPS.State.initial inst) in
+  let run =
+    EPS.Executor.run ~max_steps:500 inst
+      (EPS.round_robin_lossy ~every:3 inst (model "UEA"))
+  in
+  Alcotest.(check bool)
+    "drops counted" true
+    (run.EPS.Executor.drops > 0);
+  Alcotest.(check bool)
+    "mass strictly lost" true
+    (ps_mass inst run.EPS.Executor.final < initial -. 1e-6)
+
+(* ------------------------------------------------------------------ *)
+(* Generic validators and schedulers. *)
+
+let test_generic_round_robin_validates () =
+  let inst = Protocols.Gossip.make (Protocols.Topo.ring 3) in
+  List.iter
+    (fun m ->
+      let sched = EG.round_robin inst m in
+      let entries =
+        Scheduler.prefix (Option.get sched.Scheduler.period) sched
+      in
+      Alcotest.(check bool)
+        (Model.to_string m ^ " round robin validates")
+        true
+        (List.for_all (EG.validates inst m) entries))
+    Model.all
+
+let test_generic_lossy_validates_unreliable_only () =
+  let inst = Protocols.Gossip.make (Protocols.Topo.ring 3) in
+  let uma = model "UMA" and rma = model "RMA" in
+  let sched = EG.round_robin_lossy ~every:2 inst uma in
+  let entries = Scheduler.prefix (Option.get sched.Scheduler.period) sched in
+  Alcotest.(check bool)
+    "lossy validates under UMA" true
+    (List.for_all (EG.validates inst uma) entries);
+  Alcotest.(check bool)
+    "some lossy entry violates RMA" true
+    (List.exists (fun e -> not (EG.validates inst rma e)) entries);
+  Alcotest.check_raises "lossy refuses reliable models"
+    (Invalid_argument "Generic.round_robin_lossy: drops require an unreliable model")
+    (fun () -> ignore (EG.round_robin_lossy ~every:2 inst rma))
+
+let test_generic_synchronous_validates_multi () =
+  let inst = Protocols.Gossip.make (Protocols.Topo.ring 3) in
+  let m = model "REA" in
+  let sched = EG.synchronous inst m in
+  let entries = Scheduler.prefix 1 sched in
+  Alcotest.(check bool)
+    "synchronous validates (multi)" true
+    (List.for_all (EG.validates_multi inst m) entries);
+  Alcotest.(check bool)
+    "synchronous is not single-node valid" true
+    (List.exists (fun e -> not (EG.validates inst m e)) entries);
+  let run = EG.Executor.run ~max_steps:50 inst sched in
+  Alcotest.(check bool)
+    "synchronous gossip converges" true
+    (run.EG.Executor.stop = EG.Executor.Converged)
+
+(* Per-node model mixtures, the generic counterpart of Engine.Hetero. *)
+let test_generic_hetero_model_of () =
+  let inst = Protocols.Gossip.make (Protocols.Topo.ring 3) in
+  let model_of v = if v = 0 then model "R1O" else model "REA" in
+  let sched = EG.round_robin ~model_of inst (model "REA") in
+  let entries = Scheduler.prefix (Option.get sched.Scheduler.period) sched in
+  Alcotest.(check bool)
+    "heterogeneous cycle validates per node" true
+    (List.for_all (EG.validates ~model_of inst (model "REA")) entries);
+  let run = EG.Executor.run ~max_steps:200 inst sched in
+  Alcotest.(check bool)
+    "heterogeneous gossip converges" true
+    (run.EG.Executor.stop = EG.Executor.Converged)
+
+let test_generic_well_formed () =
+  let inst = Protocols.Gossip.make (Protocols.Topo.ring 3) in
+  let bogus = Channel.id ~src:0 ~dst:2 in
+  (* 0 and 2 are ring neighbors; (0,2) is a real channel, (1,0) read by a
+     non-active node and an unknown (3,0) channel are not well-formed. *)
+  let e1 = Activation.single 2 [ Activation.read bogus ] in
+  Alcotest.(check bool) "adjacent channel ok" true (EG.well_formed inst e1 = []);
+  let e2 = Activation.single 2 [ Activation.read (Channel.id ~src:1 ~dst:0) ] in
+  Alcotest.(check bool) "reader not active" true (EG.well_formed inst e2 <> []);
+  let e3 = Activation.single 0 [ Activation.read (Channel.id ~src:3 ~dst:0) ] in
+  Alcotest.(check bool) "unknown channel" true (EG.well_formed inst e3 <> [])
+
+let () =
+  Alcotest.run "protocols"
+    [
+      ( "pv-parity",
+        [
+          Alcotest.test_case "DISAGREE all 24" `Quick test_pv_parity_disagree;
+          Alcotest.test_case "FIG6 all 24 (bounded)" `Quick test_pv_parity_fig6_bounded;
+          Alcotest.test_case "FIG6 R1A/RMA deep" `Slow test_pv_parity_fig6_deep;
+          Alcotest.test_case "witness replay" `Quick test_pv_witness_verifies;
+          Alcotest.test_case "executor agreement" `Quick test_pv_executor_matches_legacy;
+        ] );
+      ( "gossip",
+        [
+          QCheck_alcotest.to_alcotest gossip_monotone;
+          Alcotest.test_case "R converges / U diverges" `Quick test_gossip_verdicts;
+          Alcotest.test_case "stuck cycle detected" `Quick test_gossip_cycle_detected;
+          Alcotest.test_case "timed MRAI sweep" `Quick test_gossip_timed;
+        ] );
+      ( "push-sum",
+        [
+          Alcotest.test_case "mass conserved (R)" `Quick test_pushsum_mass_reliable;
+          Alcotest.test_case "drops reconciled (U)" `Quick test_pushsum_drop_reconciliation;
+          Alcotest.test_case "REA reaches the average" `Quick test_pushsum_converges;
+          Alcotest.test_case "lossy loses mass" `Quick test_pushsum_lossy_loses_mass;
+        ] );
+      ( "generic",
+        [
+          Alcotest.test_case "round robin validates" `Quick test_generic_round_robin_validates;
+          Alcotest.test_case "lossy model gating" `Quick
+            test_generic_lossy_validates_unreliable_only;
+          Alcotest.test_case "synchronous multi" `Quick test_generic_synchronous_validates_multi;
+          Alcotest.test_case "per-node models" `Quick test_generic_hetero_model_of;
+          Alcotest.test_case "well-formedness" `Quick test_generic_well_formed;
+        ] );
+    ]
