@@ -1,0 +1,274 @@
+(* Adversarial divergence hunter driver: perturb convergent SPP instances
+   and policies, statically prefilter, hunt survivors for model-dependent
+   oscillations, shrink findings and emit them to a corpus directory; or
+   replay a committed corpus.  Exit code 0 means the run completed and
+   every requested gate held; 1 a gate or replay failed; 2 usage error. *)
+
+module Json = Engine.Metrics.Json
+
+let ( / ) = Filename.concat
+
+let json_files dir =
+  match Sys.readdir dir with
+  | exception Sys_error e ->
+    Fmt.epr "hunt: cannot read %s: %s@." dir e;
+    exit 2
+  | files ->
+    Array.to_list files
+    |> List.filter (fun f -> Filename.check_suffix f ".json")
+    |> List.sort String.compare
+
+let replay_dir dir =
+  let outcomes = List.map (fun f -> Hunt.replay_file (dir / f)) (json_files dir) in
+  if outcomes = [] then begin
+    Fmt.epr "hunt: no corpus entries in %s@." dir;
+    exit 2
+  end;
+  List.iter
+    (fun (o : Hunt.Corpus.outcome) ->
+      Fmt.pr "%s %s: %s@." (if o.ok then "ok  " else "FAIL") o.name o.detail)
+    outcomes;
+  let failed = List.filter (fun (o : Hunt.Corpus.outcome) -> not o.ok) outcomes in
+  Fmt.pr "replayed %d corpus entries, %d failed@." (List.length outcomes)
+    (List.length failed);
+  exit (if failed = [] then 0 else 1)
+
+(* ------------------------------------------------------------------ *)
+(* Artifact: schema commrouting/hunt_run/v1.  Everything except wall_s
+   and resumed is deterministic in (seeds, budget), which is what the
+   kill-resume gate compares. *)
+
+let artifact_of_report (r : Hunt.Search.report) ~wall_s =
+  let outcome_json (o : Hunt.Search.outcome) =
+    let base =
+      [
+        ("name", Json.Str o.Hunt.Search.name);
+        ("seed", Json.Num (float_of_int o.Hunt.Search.seed));
+        ("descr", Json.Str o.Hunt.Search.descr);
+      ]
+    in
+    let status =
+      match o.Hunt.Search.status with
+      | Hunt.Search.Skipped_static reason ->
+        [ ("status", Json.Str "skipped"); ("reason", Json.Str reason) ]
+      | Hunt.Search.Explored verdicts ->
+        [
+          ("status", Json.Str "explored");
+          ( "verdicts",
+            Json.Obj
+              (List.map
+                 (fun (m, v) -> (Engine.Model.to_string m, Json.Str v))
+                 verdicts) );
+        ]
+    in
+    let finding =
+      match o.Hunt.Search.finding with
+      | None -> [ ("finding", Json.Null) ]
+      | Some f ->
+        [
+          ( "finding",
+            Json.Obj
+              [
+                ("name", Json.Str f.Hunt.Corpus.name);
+                ("kind", Json.Str (Hunt.Corpus.kind_string f.Hunt.Corpus.kind));
+                ("nodes", Json.Num (float_of_int (Spp.Instance.size f.Hunt.Corpus.inst)));
+                ( "edges",
+                  Json.Num
+                    (float_of_int
+                       (List.length (Spp.Instance.edges f.Hunt.Corpus.inst))) );
+              ] );
+        ]
+    in
+    Json.Obj (base @ status @ finding)
+  in
+  Json.Obj
+    [
+      ("schema", Json.Str "commrouting/hunt_run/v1");
+      ("seeds", Json.Num (float_of_int r.Hunt.Search.seeds));
+      ("budget", Json.Str (Hunt.Search.budget_to_string r.Hunt.Search.budget));
+      ( "models",
+        Json.List
+          (List.map
+             (fun m -> Json.Str (Engine.Model.to_string m))
+             r.Hunt.Search.checked_models) );
+      ( "channel_bound",
+        Json.Num
+          (float_of_int r.Hunt.Search.config.Modelcheck.Explore.channel_bound) );
+      ( "max_states",
+        Json.Num (float_of_int r.Hunt.Search.config.Modelcheck.Explore.max_states)
+      );
+      ("candidates", Json.Num (float_of_int (Hunt.Search.candidates_total r)));
+      ("skipped_static", Json.Num (float_of_int (Hunt.Search.skipped_static r)));
+      ("explored", Json.Num (float_of_int (Hunt.Search.explored r)));
+      ( "findings",
+        Json.Num (float_of_int (List.length (Hunt.Search.findings r))) );
+      ("skip_ratio", Json.Num (Hunt.Search.skip_ratio r));
+      ("resumed", Json.Num (float_of_int (Hunt.Search.resumed r)));
+      ("outcomes", Json.List (List.map outcome_json r.Hunt.Search.outcomes));
+      ("wall_s", Json.Num wall_s);
+    ]
+
+(* Scrub the measurement fields a kill-resume comparison must ignore:
+   wall-clock time and how many candidates came from the journal. *)
+let rec scrub = function
+  | Json.Obj fields ->
+    Json.Obj
+      (List.filter_map
+         (fun (k, v) ->
+           if k = "wall_s" || k = "resumed" then None else Some (k, scrub v))
+         fields)
+  | Json.List l -> Json.List (List.map scrub l)
+  | v -> v
+
+let compare_ignoring_timings a b =
+  let load path =
+    match In_channel.with_open_bin path In_channel.input_all with
+    | exception Sys_error e ->
+      Fmt.epr "hunt: cannot read %s: %s@." path e;
+      exit 2
+    | contents -> (
+      match Json.parse (String.trim contents) with
+      | Ok j -> j
+      | Error e ->
+        Fmt.epr "hunt: %s: %s@." path e;
+        exit 2)
+  in
+  let ja = scrub (load a) and jb = scrub (load b) in
+  if ja = jb then begin
+    Fmt.pr "artifacts agree (ignoring timings)@.";
+    exit 0
+  end
+  else begin
+    Fmt.epr "hunt: %s and %s disagree beyond timings@." a b;
+    exit 1
+  end
+
+let () =
+  let seeds = ref 5 in
+  let budget = ref "smoke" in
+  let domains = ref (Modelcheck.Explore.default_domains ()) in
+  let emit = ref "" in
+  let out = ref "" in
+  let replay = ref "" in
+  let checkpoint = ref "" in
+  let checkpoint_every = ref 1 in
+  let resume = ref false in
+  let quiet = ref false in
+  let min_findings = ref 0 in
+  let min_skip_ratio = ref 0. in
+  let compare_args = ref [] in
+  let spec =
+    [
+      ( "--seeds",
+        Arg.Set_int seeds,
+        "N perturbation-candidate batches to generate (default 5)" );
+      ( "--budget",
+        Arg.Set_string budget,
+        "smoke|default|deep explorer budget class (default: smoke)" );
+      ( "--domains",
+        Arg.String
+          (fun s ->
+            if String.lowercase_ascii (String.trim s) = "auto" then
+              domains := Modelcheck.Explore.auto_domains ()
+            else
+              match int_of_string_opt s with
+              | Some d when d >= 1 -> domains := d
+              | _ ->
+                raise (Arg.Bad ("--domains expects an int >= 1 or \"auto\": " ^ s))),
+        "N|auto pool workers checking candidates (default: DOMAINS env, 1 \
+         otherwise)" );
+      ( "--emit",
+        Arg.Set_string emit,
+        "DIR serialize shrunk findings to DIR (atomic writes)" );
+      ("-o", Arg.Set_string out, "PATH write the run artifact JSON to PATH");
+      ( "--replay",
+        Arg.Set_string replay,
+        "DIR re-check every corpus entry in DIR and exit" );
+      ( "--checkpoint",
+        Arg.Set_string checkpoint,
+        "PATH journal every finished candidate to PATH, so a killed hunt can \
+         resume" );
+      ( "--checkpoint-every",
+        Arg.Set_int checkpoint_every,
+        "N flush the journal to disk every N candidates (default 1)" );
+      ( "--resume",
+        Arg.Set resume,
+        " skip candidates already recorded in the --checkpoint journal (same \
+         seeds/budget only)" );
+      ("--quiet", Arg.Set quiet, " suppress per-candidate progress lines");
+      ( "--min-findings",
+        Arg.Set_int min_findings,
+        "N exit 1 unless at least N findings were made (default 0)" );
+      ( "--min-skip-ratio",
+        Arg.Set_float min_skip_ratio,
+        "X exit 1 unless the static prefilter skipped at least fraction X of \
+         candidates (default 0)" );
+      ( "--compare-ignoring-timings",
+        Arg.Rest (fun a -> compare_args := a :: !compare_args),
+        "A B compare two run artifacts, ignoring wall times and resume \
+         counts; exit 0 iff they agree" );
+    ]
+  in
+  Arg.parse spec
+    (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
+    "hunt [options]";
+  (match List.rev !compare_args with
+  | [ a; b ] -> compare_ignoring_timings a b
+  | [] -> ()
+  | _ ->
+    Fmt.epr "hunt: --compare-ignoring-timings expects exactly two paths@.";
+    exit 2);
+  if !replay <> "" then replay_dir !replay;
+  let budget =
+    match Hunt.Search.budget_of_string !budget with
+    | Some b -> b
+    | None ->
+      Fmt.epr "hunt: unknown budget %S (smoke|default|deep)@." !budget;
+      exit 2
+  in
+  if !resume && !checkpoint = "" then begin
+    Fmt.epr "hunt: --resume requires --checkpoint PATH@.";
+    exit 2
+  end;
+  if !checkpoint_every < 1 then begin
+    Fmt.epr "hunt: --checkpoint-every expects an int >= 1@.";
+    exit 2
+  end;
+  if !seeds < 1 then begin
+    Fmt.epr "hunt: --seeds expects an int >= 1@.";
+    exit 2
+  end;
+  let cfg =
+    {
+      Hunt.Search.seeds = !seeds;
+      budget;
+      domains = !domains;
+      emit_dir = (if !emit = "" then None else Some !emit);
+      journal = (if !checkpoint = "" then None else Some !checkpoint);
+      journal_every = !checkpoint_every;
+      resume = !resume;
+      log = (if !quiet then ignore else fun s -> Fmt.epr "%s@." s);
+    }
+  in
+  let t0 = Unix.gettimeofday () in
+  let report = Hunt.Search.run cfg in
+  let wall_s = Unix.gettimeofday () -. t0 in
+  Fmt.pr "%a@." Hunt.Search.pp_report report;
+  if !out <> "" then begin
+    Engine.Snapshot.write_atomic !out
+      (Json.to_string (artifact_of_report report ~wall_s) ^ "\n");
+    Fmt.pr "wrote %s@." !out
+  end;
+  let nfindings = List.length (Hunt.Search.findings report) in
+  let ratio = Hunt.Search.skip_ratio report in
+  if nfindings < !min_findings then begin
+    Fmt.epr "hunt: only %d finding(s), --min-findings %d@." nfindings
+      !min_findings;
+    exit 1
+  end;
+  if ratio < !min_skip_ratio then begin
+    Fmt.epr "hunt: static skip ratio %.2f below --min-skip-ratio %.2f@." ratio
+      !min_skip_ratio;
+    exit 1
+  end;
+  exit 0

@@ -23,6 +23,36 @@
     handful of violations is cheap next to the sweep).  Negative verdicts
     are journaled in full. *)
 
+(** {1 Generic keyed journal}
+
+    The line format and crash-tolerance machinery, reusable by any
+    resumable sweep (the divergence hunter journals per-candidate progress
+    through this): records are lists of [String.escaped] fields on one
+    tab-separated line under a caller-chosen magic + fingerprint header.
+    Loading applies the same tolerance rules as the conformance journal:
+    partial trailing lines and anything after the first malformed line are
+    ignored, and a magic/fingerprint mismatch discards the whole file. *)
+
+module Generic : sig
+  type writer
+  (** Appends under a mutex, so pool workers can record concurrently. *)
+
+  val open_ :
+    path:string ->
+    magic:string ->
+    fingerprint:string ->
+    resume:bool ->
+    flush_every:int ->
+    writer * string list list
+  (** Open [path] and return the complete already-journaled records (empty
+      unless [resume] finds a matching journal).  The file is first
+      compacted to complete lines, atomically, so appends always start at
+      a line boundary. *)
+
+  val record : writer -> string list -> unit
+  val close : writer -> unit
+end
+
 type entry =
   | Positive of { index : int; held : bool }
       (** index into {!Fuzz.trials} order, which is deterministic in

@@ -1,33 +1,5 @@
 open Engine
 
-(* Rebuild an instance from its accessors, keeping only the given edges and
-   the permitted paths passing [keep_path]; ranks are preserved verbatim so
-   the preference order cannot drift during shrinking.  Returns [None] when
-   the mutated instance fails validation. *)
-let rebuild inst ~edges ~keep_path =
-  let ranked =
-    List.filter_map
-      (fun v ->
-        if v = Spp.Instance.dest inst then None
-        else
-          Some
-            ( v,
-              List.filter_map
-                (fun p ->
-                  if keep_path v p then
-                    Option.map (fun r -> (p, r)) (Spp.Instance.rank inst v p)
-                  else None)
-                (Spp.Instance.permitted inst v) ))
-      (Spp.Instance.nodes inst)
-  in
-  match
-    Spp.Instance.of_ranked
-      ~names:(Spp.Instance.names inst)
-      ~dest:(Spp.Instance.dest inst) ~edges ~ranked
-  with
-  | inst' -> Some inst'
-  | exception Invalid_argument _ -> None
-
 (* Keep only entries whose active nodes all pass [keep_node], restricted to
    reads over still-existing channels. *)
 let adapt_entries inst' ~keep_node entries =
@@ -47,17 +19,10 @@ let adapt_entries inst' ~keep_node entries =
       else None)
     entries
 
-let path_uses_edge (u, v) p =
-  let rec loop = function
-    | a :: (b :: _ as rest) ->
-      ((a = u && b = v) || (a = v && b = u)) || loop rest
-    | _ -> false
-  in
-  loop (Spp.Path.to_nodes p)
-
-(* Candidate instance mutations, cheapest-win first: dropping a permitted
-   path keeps the graph intact; removing an edge or isolating a node also
-   prunes the schedule. *)
+(* Candidate instance mutations (via the shared {!Spp.Mutate} surgery
+   primitives), cheapest-win first: dropping a permitted path keeps the
+   graph intact; removing an edge or isolating a node also prunes the
+   schedule. *)
 let instance_candidates (t : Trial.positive) =
   let inst = t.Trial.inst in
   let drop_paths =
@@ -70,10 +35,7 @@ let instance_candidates (t : Trial.positive) =
               lazy
                 (Option.map
                    (fun inst' -> { t with Trial.inst = inst' })
-                   (rebuild inst
-                      ~edges:(Spp.Instance.edges inst)
-                      ~keep_path:(fun v' p' ->
-                        not (v' = v && Spp.Path.equal p' p)))))
+                   (Spp.Mutate.drop_path inst v p)))
             (Spp.Instance.permitted inst v))
       (Spp.Instance.nodes inst)
   in
@@ -81,8 +43,7 @@ let instance_candidates (t : Trial.positive) =
     List.map
       (fun e ->
         lazy
-          (let edges = List.filter (fun e' -> e' <> e) (Spp.Instance.edges inst) in
-           Option.map
+          (Option.map
              (fun inst' ->
                {
                  t with
@@ -90,7 +51,7 @@ let instance_candidates (t : Trial.positive) =
                  Trial.entries =
                    adapt_entries inst' ~keep_node:(fun _ -> true) t.Trial.entries;
                })
-             (rebuild inst ~edges ~keep_path:(fun _ p -> not (path_uses_edge e p)))))
+             (Spp.Mutate.drop_edge inst e)))
       (Spp.Instance.edges inst)
   in
   let isolate_nodes =
@@ -100,12 +61,7 @@ let instance_candidates (t : Trial.positive) =
         else
           Some
             (lazy
-              (let edges =
-                 List.filter
-                   (fun (a, b) -> a <> v && b <> v)
-                   (Spp.Instance.edges inst)
-               in
-               Option.map
+              (Option.map
                  (fun inst' ->
                    {
                      t with
@@ -115,8 +71,7 @@ let instance_candidates (t : Trial.positive) =
                          ~keep_node:(fun u -> u <> v)
                          t.Trial.entries;
                    })
-                 (rebuild inst ~edges ~keep_path:(fun _ p ->
-                      not (Spp.Path.contains v p))))))
+                 (Spp.Mutate.isolate inst v))))
       (Spp.Instance.nodes inst)
   in
   drop_paths @ drop_edges @ isolate_nodes

@@ -1,0 +1,24 @@
+(** Adversarial divergence hunter (the workload named by Godfrey's "BGP
+    Stability is Precarious"): perturb SPP instances and policies, filter
+    with cheap static convergence certificates, hunt the survivors for
+    dispute wheels and model-dependent oscillations, shrink what is found
+    into minimal gadgets, and grow a committed, deterministically
+    replayable counterexample corpus.
+
+    {!Perturb} generates deterministic candidate batches; {!Precheck} is
+    the static prefilter (Daggitt–Griffin strict monotonicity, dispute
+    wheels); {!Search} drives the budgeted per-model oscillation sweep on
+    the engine pool with journaled resume; {!Minimize} is the
+    ddmin/instance-surgery shrinker; {!Corpus} serializes and replays the
+    committed [results/hunt/] findings; {!Journal} is the per-candidate
+    progress journal behind [--resume]. *)
+
+module Perturb = Perturb
+module Precheck = Precheck
+module Minimize = Minimize
+module Corpus = Corpus
+module Journal = Journal
+module Search = Search
+
+let replay = Corpus.replay
+let replay_file = Corpus.replay_file

@@ -1,0 +1,43 @@
+(** Per-candidate progress journal for a hunt, an instance of the
+    generalized {!Conformance.Journal.Generic} keyed journal.
+
+    One record per finished candidate, carrying the complete outcome (skip
+    reason, per-model verdict names, and a finding's full JSON), so a
+    SIGKILLed hunt resumed with [--resume] reconstructs every finished
+    candidate — including its emitted corpus entries and the final
+    artifact — without re-spending explorer budget.  The file inherits the
+    generic journal's crash tolerance: partial trailing lines and anything
+    after the first malformed record are dropped, and a fingerprint
+    mismatch (different seeds/budget/models/bounds) discards the whole
+    journal. *)
+
+type entry =
+  | Skipped of { name : string; reason : string }
+  | Explored of {
+      name : string;
+      verdicts : (Engine.Model.t * string) list;
+          (** {!Modelcheck.Oscillation.verdict_name} per checked model *)
+      finding : Corpus.finding option;
+    }
+
+type writer
+
+val fingerprint :
+  seeds:int ->
+  budget:string ->
+  models:Engine.Model.t list ->
+  channel_bound:int ->
+  max_states:int ->
+  unit ->
+  string
+
+val open_ :
+  path:string ->
+  fingerprint:string ->
+  resume:bool ->
+  flush_every:int ->
+  writer * entry list
+
+val record : writer -> entry -> unit
+val close : writer -> unit
+val entry_name : entry -> string

@@ -1,0 +1,121 @@
+(* Finding minimization: the hunt's counterpart of the conformance
+   harness's shrinker, over the same {!Spp.Mutate} surgery primitives but
+   with the instance as the only axis (a finding has no schedule — its
+   property is re-established by exploration).
+
+   Pass 1 is ddmin over the permitted-path set: remove contiguous chunks
+   of (node, path) pairs, halving chunk sizes down to single paths.
+   Pass 2 is greedy surgery to a fixpoint: drop an edge (with the paths
+   that cross it), isolate a node, or drop a single permitted path.
+   Every accepted step is validated by construction ({!Spp.Mutate} only
+   returns well-formed instances) and re-established by [keep]. *)
+
+type step = { descr : string; inst : Spp.Instance.t }
+
+let all_paths inst =
+  List.concat_map
+    (fun v ->
+      if v = Spp.Instance.dest inst then []
+      else List.map (fun p -> (v, p)) (Spp.Instance.permitted inst v))
+    (Spp.Instance.nodes inst)
+
+let remove_paths inst victims =
+  Spp.Mutate.rebuild inst ~edges:(Spp.Instance.edges inst)
+    ~keep_path:(fun v p ->
+      not (List.exists (fun (v', p') -> v = v' && Spp.Path.equal p p') victims))
+
+(* ddmin chunk removal over the permitted-path list. *)
+let ddmin_paths ~keep ~trace inst0 =
+  let inst = ref inst0 in
+  let len = ref (List.length (all_paths inst0) / 2) in
+  while !len >= 1 do
+    let progressed = ref true in
+    while !progressed do
+      progressed := false;
+      let paths = all_paths !inst in
+      let n = List.length paths in
+      let off = ref 0 in
+      while !off + !len <= n && not !progressed do
+        let chunk =
+          List.filteri (fun i _ -> i >= !off && i < !off + !len) paths
+        in
+        (match remove_paths !inst chunk with
+        | Some cand when keep cand ->
+          trace
+            {
+              descr = Printf.sprintf "ddmin: drop %d permitted path(s)" !len;
+              inst = cand;
+            };
+          inst := cand;
+          progressed := true
+        | _ -> incr off);
+        ()
+      done
+    done;
+    len := !len / 2
+  done;
+  !inst
+
+(* Greedy one-step surgery candidates, cheapest-win first. *)
+let surgery_candidates inst =
+  let drop_edges =
+    List.map
+      (fun e ->
+        ( Printf.sprintf "drop edge %s-%s"
+            (Spp.Instance.name inst (fst e))
+            (Spp.Instance.name inst (snd e)),
+          lazy (Spp.Mutate.drop_edge inst e) ))
+      (Spp.Instance.edges inst)
+  in
+  let isolate_nodes =
+    List.filter_map
+      (fun v ->
+        if v = Spp.Instance.dest inst then None
+        else
+          Some
+            ( Printf.sprintf "isolate node %s" (Spp.Instance.name inst v),
+              lazy (Spp.Mutate.isolate inst v) ))
+      (Spp.Instance.nodes inst)
+  in
+  let drop_paths =
+    List.map
+      (fun (v, p) ->
+        ( Fmt.str "drop path %a at %s" (Spp.Instance.pp_path inst) p
+            (Spp.Instance.name inst v),
+          lazy (Spp.Mutate.drop_path inst v p) ))
+      (all_paths inst)
+  in
+  drop_paths @ drop_edges @ isolate_nodes
+
+(* Paths + edges: every surgery step must strictly decrease this, which
+   is what guarantees the greedy fixpoint terminates. *)
+let weight inst =
+  List.length (all_paths inst) + List.length (Spp.Instance.edges inst)
+
+let rec greedy ~keep ~trace inst =
+  let w = weight inst in
+  let better =
+    List.find_map
+      (fun (descr, cand) ->
+        match Lazy.force cand with
+        | Some c when weight c < w && keep c -> Some (descr, c)
+        | _ -> None)
+      (surgery_candidates inst)
+  in
+  match better with
+  | Some (descr, c) ->
+    trace { descr; inst = c };
+    greedy ~keep ~trace c
+  | None -> inst
+
+let minimize_trace ~keep inst0 =
+  if not (keep inst0) then (inst0, [])
+  else begin
+    let steps = ref [] in
+    let trace s = steps := s :: !steps in
+    let inst = ddmin_paths ~keep ~trace inst0 in
+    let inst = greedy ~keep ~trace inst in
+    (inst, List.rev !steps)
+  end
+
+let minimize ~keep inst = fst (minimize_trace ~keep inst)

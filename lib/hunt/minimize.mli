@@ -1,0 +1,22 @@
+(** Finding minimization: ddmin + instance surgery, over the shared
+    {!Spp.Mutate} primitives (the same surgery the conformance shrinker
+    uses), with the instance as the only axis.
+
+    Pass 1 is ddmin over the permitted-path set (contiguous chunk removal,
+    halving); pass 2 is greedy edge-drop / node-isolation / path-drop to a
+    fixpoint.  Every intermediate accepted by [keep] is well-formed by
+    construction. *)
+
+type step = { descr : string; inst : Spp.Instance.t }
+
+val minimize :
+  keep:(Spp.Instance.t -> bool) -> Spp.Instance.t -> Spp.Instance.t
+(** Smallest [keep]-preserving instance the passes reach; the input
+    unchanged when it does not satisfy [keep]. *)
+
+val minimize_trace :
+  keep:(Spp.Instance.t -> bool) ->
+  Spp.Instance.t ->
+  Spp.Instance.t * step list
+(** Like {!minimize} but also returns every accepted shrink step in order
+    — the shrink-soundness property test replays each one. *)

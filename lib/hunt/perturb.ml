@@ -1,0 +1,248 @@
+(* Perturbation-candidate generation (the hunt's input stream).
+
+   Godfrey's "BGP Stability is Precarious" argues that essentially any
+   perturbation of a path-vector decision process admits divergence; this
+   module turns that claim into a deterministic candidate stream.  Each
+   seed yields a batch of candidates derived from convergent bases —
+   shortest-path rings and safe generated instances perturbed by
+   {!Spp.Mutate} surgery (rank swaps, permitted-path additions/removals),
+   plus {!Spp.Algebra} compositions (stock monotone algebras,
+   lexicographic products, and deliberately non-monotone tweaks such as a
+   longest-path tie-break on Gao–Rexford classes).  Generation is
+   deterministic in the seed. *)
+
+type alg = Alg : 'w Spp.Algebra.algebra * Spp.Algebra.labeled_graph -> alg
+
+type source = Surgery of Spp.Instance.t | Algebraic of alg
+
+type t = { name : string; seed : int; descr : string; source : source }
+
+let instance c =
+  match c.source with
+  | Surgery inst -> inst
+  | Algebraic (Alg (alg, g)) -> Spp.Algebra.compile alg g
+
+(* ------------------------------------------------------------------ *)
+(* Adversarial algebra tweaks. *)
+
+(* Longest-path preference: extension strictly improves, the polar
+   opposite of the Daggitt–Griffin strict-increase condition; on any
+   cyclic graph each node prefers the long way around, a rotational
+   DISAGREE. *)
+let longest_paths =
+  {
+    Spp.Algebra.name = "longest-paths";
+    extend = (fun ~label w -> Some (label + w));
+    origin = 0;
+    prefer = (fun a b -> compare b a);
+  }
+
+(* Gao–Rexford with the intra-class tie-break flipped to prefer longer
+   routes: the class preference (customer < peer < provider) survives,
+   but the length tie-break no longer makes extension monotone. *)
+let gao_rexford_longest =
+  {
+    Spp.Algebra.gao_rexford with
+    name = "gao-rexford-longest";
+    prefer =
+      (fun a b ->
+        let ca = a / 256 and ha = a mod 256 in
+        let cb = b / 256 and hb = b mod 256 in
+        let c = compare ca cb in
+        if c <> 0 then c else compare hb ha);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Labeled ring graphs for the algebraic candidates. *)
+
+let ring_graph ~spokes ~label =
+  let n = spokes + 1 in
+  let names =
+    Array.init n (fun i -> if i = 0 then "d" else Printf.sprintf "v%d" i)
+  in
+  let links =
+    (* Spokes 1..k in a ring, nodes 1 and 2 linked to the destination —
+       the same shape as Gadgets.shortest_paths. *)
+    (1, 0, label 1 0, label 0 1)
+    :: (2, 0, label 2 0, label 0 2)
+    :: List.init (spokes - 1) (fun i ->
+           (i + 1, i + 2, label (i + 1) (i + 2), label (i + 2) (i + 1)))
+  in
+  { Spp.Algebra.names; dest = 0; links }
+
+(* ------------------------------------------------------------------ *)
+(* Candidate batches. *)
+
+let pick rng l =
+  match l with [] -> None | _ -> Some (List.nth l (rng (List.length l)))
+
+let swappable inst =
+  List.filter
+    (fun v ->
+      v <> Spp.Instance.dest inst
+      && List.length (Spp.Instance.permitted inst v) >= 2)
+    (Spp.Instance.nodes inst)
+
+(* Swap the two most-preferred paths of one node. *)
+let rank_swap rng inst =
+  Option.bind (pick rng (swappable inst)) (fun v ->
+      Option.map
+        (fun inst' -> (Printf.sprintf "swap top ranks at %s" (Spp.Instance.name inst v), inst'))
+        (Spp.Mutate.swap_ranks inst v 0 1))
+
+(* Swap the top ranks at both endpoints of an edge: the cyclic-preference
+   pattern (each endpoint promoting a route through the other) that
+   DISAGREE instantiates. *)
+let adjacent_swap inst =
+  let candidates =
+    List.filter
+      (fun (u, v) ->
+        let ok w =
+          w <> Spp.Instance.dest inst
+          && List.length (Spp.Instance.permitted inst w) >= 2
+        in
+        ok u && ok v)
+      (Spp.Instance.edges inst)
+  in
+  List.find_map
+    (fun (u, v) ->
+      Option.bind (Spp.Mutate.swap_ranks inst u 0 1) (fun inst' ->
+          Option.map
+            (fun inst'' ->
+              ( Printf.sprintf "swap top ranks at adjacent %s and %s"
+                  (Spp.Instance.name inst u) (Spp.Instance.name inst v),
+                inst'' ))
+            (Spp.Mutate.swap_ranks inst' v 0 1)))
+    candidates
+
+let path_addition rng inst =
+  let additions =
+    List.concat_map
+      (fun v ->
+        if v = Spp.Instance.dest inst then []
+        else
+          List.filter_map
+            (fun p ->
+              if Spp.Instance.is_permitted inst v p then None else Some (v, p))
+            (Spp.Mutate.simple_paths inst v))
+      (Spp.Instance.nodes inst)
+  in
+  Option.bind (pick rng additions) (fun (v, p) ->
+      Option.map
+        (fun inst' ->
+          ( Fmt.str "add most-preferred path %a at %s" (Spp.Instance.pp_path inst)
+              p (Spp.Instance.name inst v),
+            inst' ))
+        (Spp.Mutate.add_path inst v p ~pos:0))
+
+let path_removal rng inst =
+  Option.bind (pick rng (swappable inst)) (fun v ->
+      let p = List.hd (Spp.Instance.permitted inst v) in
+      Option.map
+        (fun inst' ->
+          ( Fmt.str "drop most-preferred path %a at %s"
+              (Spp.Instance.pp_path inst) p (Spp.Instance.name inst v),
+            inst' ))
+        (Spp.Mutate.drop_path inst v p))
+
+let surgery_candidate ~seed ~name ~base_descr op base =
+  match op base with
+  | Some (descr, inst) ->
+    { name; seed; descr = base_descr ^ ": " ^ descr; source = Surgery inst }
+  | None ->
+    (* The mutation was inapplicable (or would break validation): keep the
+       unperturbed base as skip fodder rather than dropping the slot, so
+       candidate counts stay deterministic in the seed. *)
+    { name; seed; descr = base_descr ^ ": unperturbed"; source = Surgery base }
+
+let batch seed =
+  (* splitmix-style mixing, stable across OCaml versions. *)
+  let state = ref (seed * 0x9E3779B9 + 0x85EBCA6B) in
+  let rng bound =
+    state := (!state * 0x2545F491) land 0x3FFFFFFF;
+    state := !state lxor (!state lsr 13);
+    !state mod max 1 bound
+  in
+  let ring = Spp.Gadgets.shortest_paths ~n:(3 + (seed mod 3)) in
+  let ring_descr = Printf.sprintf "ring-%d" (3 + (seed mod 3)) in
+  let gen_cfg =
+    {
+      Spp.Generator.nodes = 4 + (seed mod 2);
+      extra_edges = 1 + (seed mod 2);
+      max_paths_per_node = 3;
+      max_path_len = 4;
+      seed;
+    }
+  in
+  let gen = Spp.Generator.safe_instance gen_cfg in
+  let gen_descr = Printf.sprintf "safe-gen-%d" seed in
+  let spokes = 2 + (seed mod 3) in
+  let nm kind = Printf.sprintf "s%d-%s" seed kind in
+  [
+    surgery_candidate ~seed ~name:(nm "ring-swap") ~base_descr:ring_descr
+      (rank_swap rng) ring;
+    surgery_candidate ~seed ~name:(nm "ring-swap2") ~base_descr:ring_descr
+      adjacent_swap ring;
+    surgery_candidate ~seed ~name:(nm "gen-swap") ~base_descr:gen_descr
+      (rank_swap rng) gen;
+    surgery_candidate ~seed ~name:(nm "gen-add") ~base_descr:gen_descr
+      (path_addition rng) gen;
+    surgery_candidate ~seed ~name:(nm "gen-drop") ~base_descr:gen_descr
+      (path_removal rng) gen;
+    {
+      name = nm "alg-shortest";
+      seed;
+      descr = Printf.sprintf "shortest-paths on %d-spoke ring, costs 1-3" spokes;
+      source =
+        Algebraic
+          (Alg
+             ( Spp.Algebra.shortest_paths,
+               ring_graph ~spokes ~label:(fun u v -> 1 + ((u + v) mod 3)) ));
+    };
+    {
+      name = nm "alg-widest";
+      seed;
+      descr = Printf.sprintf "widest-paths on %d-spoke ring, capacities 1-4" spokes;
+      source =
+        Algebraic
+          (Alg
+             ( Spp.Algebra.widest_paths,
+               ring_graph ~spokes ~label:(fun u v -> 1 + ((u + (2 * v)) mod 4)) ));
+    };
+    {
+      name = nm "alg-lex";
+      seed;
+      descr =
+        Printf.sprintf "lex(shortest, widest) on %d-spoke ring" spokes;
+      source =
+        Algebraic
+          (Alg
+             ( Spp.Algebra.lex ~name:"shortest-then-widest"
+                 Spp.Algebra.shortest_paths Spp.Algebra.widest_paths,
+               ring_graph ~spokes ~label:(fun u v -> 1 + ((u + v) mod 3)) ));
+    };
+    {
+      name = nm "alg-longest";
+      seed;
+      descr = Printf.sprintf "longest-paths on %d-spoke ring" spokes;
+      source =
+        Algebraic
+          (Alg (longest_paths, ring_graph ~spokes ~label:(fun _ _ -> 1)));
+    };
+    {
+      name = nm "alg-gr-longest";
+      seed;
+      descr =
+        Printf.sprintf
+          "gao-rexford with longest-route tie-break on %d-spoke customer ring"
+          spokes;
+      source =
+        Algebraic
+          (Alg
+             ( gao_rexford_longest,
+               ring_graph ~spokes ~label:(fun _ _ -> Spp.Algebra.label_customer)
+             ));
+    };
+  ]
+
+let generate ~seeds = List.concat_map batch (List.init (max 0 seeds) Fun.id)

@@ -1,0 +1,45 @@
+(** Perturbation-candidate generation.
+
+    Turns Godfrey's "essentially any perturbation admits divergence" claim
+    into a deterministic candidate stream: each seed yields a batch of
+    named candidates derived from convergent bases — shortest-path rings
+    and safe generated instances perturbed by {!Spp.Mutate} surgery (rank
+    swaps, permitted-path additions/removals) — plus {!Spp.Algebra}
+    compositions: stock monotone algebras and lexicographic products
+    (static-filter fodder) and deliberately non-monotone tweaks
+    ({!longest_paths}, {!gao_rexford_longest}) that seed real dispute
+    wheels.  Generation is deterministic in the seed. *)
+
+type alg = Alg : 'w Spp.Algebra.algebra * Spp.Algebra.labeled_graph -> alg
+
+type source =
+  | Surgery of Spp.Instance.t  (** an already-perturbed concrete instance *)
+  | Algebraic of alg  (** compiled on demand by {!instance} *)
+
+type t = { name : string; seed : int; descr : string; source : source }
+
+val instance : t -> Spp.Instance.t
+(** The concrete SPP instance (compiles algebraic candidates); the static
+    prefilter avoids calling this for candidates it can reject from the
+    algebra alone. *)
+
+val longest_paths : int Spp.Algebra.algebra
+(** Longest-path preference: extension strictly improves, the polar
+    opposite of the Daggitt–Griffin strict-increase condition. *)
+
+val gao_rexford_longest : int Spp.Algebra.algebra
+(** Gao–Rexford classes with the intra-class length tie-break flipped to
+    prefer longer routes (non-monotone). *)
+
+val ring_graph :
+  spokes:int ->
+  label:(Spp.Path.node -> Spp.Path.node -> int) ->
+  Spp.Algebra.labeled_graph
+(** The k-spoke ring graph the algebraic candidates compile on (same shape
+    as {!Spp.Gadgets.shortest_paths}). *)
+
+val batch : int -> t list
+(** The candidate batch of one seed (fixed size, deterministic). *)
+
+val generate : seeds:int -> t list
+(** Batches of seeds [0 .. seeds-1], concatenated in order. *)

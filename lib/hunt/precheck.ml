@@ -1,0 +1,46 @@
+(* The hunt's cheap static prefilter, run before any explorer budget is
+   spent on a candidate:
+
+   - an algebraic candidate whose algebra is strictly monotone over every
+     supported extension step of its graph (Daggitt–Griffin's
+     strict-increase condition, {!Spp.Algebra.check_conditions}) is
+     skipped without even compiling the instance;
+   - any remaining candidate without a dispute wheel ({!Spp.Dispute.find})
+     is skipped: no wheel is the broadest sufficient condition for
+     convergence under every communication model, so the explorer cannot
+     find an oscillation there.
+
+   A candidate that survives carries its wheel as the witness that the
+   explorer budget is justified. *)
+
+type skip_reason =
+  | Algebra_strictly_monotone of { steps_checked : int }
+  | No_dispute_wheel
+
+type verdict =
+  | Skip of skip_reason
+  | Explore of { inst : Spp.Instance.t; wheel : Spp.Dispute.wheel }
+
+let reason_string = function
+  | Algebra_strictly_monotone _ -> "algebra-strictly-monotone"
+  | No_dispute_wheel -> "no-dispute-wheel"
+
+let run (c : Perturb.t) =
+  let static_skip =
+    match c.Perturb.source with
+    | Perturb.Algebraic (Perturb.Alg (alg, g)) ->
+      let conds = Spp.Algebra.check_conditions alg g in
+      if conds.Spp.Algebra.strictly_monotone then
+        Some
+          (Algebra_strictly_monotone
+             { steps_checked = conds.Spp.Algebra.steps_checked })
+      else None
+    | Perturb.Surgery _ -> None
+  in
+  match static_skip with
+  | Some r -> Skip r
+  | None -> (
+    let inst = Perturb.instance c in
+    match Spp.Dispute.find inst with
+    | None -> Skip No_dispute_wheel
+    | Some wheel -> Explore { inst; wheel })

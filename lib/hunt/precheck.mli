@@ -1,0 +1,22 @@
+(** Static prefilter: skip provably-convergent candidates before any
+    explorer budget is spent.
+
+    Two cheap signals, in cost order: the Daggitt–Griffin strict-increase
+    condition over the candidate's algebra ({!Spp.Algebra.check_conditions},
+    no compilation needed), then dispute-wheel absence
+    ({!Spp.Dispute.find}) on the compiled instance — either one implies
+    convergence under every communication model. *)
+
+type skip_reason =
+  | Algebra_strictly_monotone of { steps_checked : int }
+  | No_dispute_wheel
+
+type verdict =
+  | Skip of skip_reason
+  | Explore of { inst : Spp.Instance.t; wheel : Spp.Dispute.wheel }
+      (** the wheel witnesses that explorer spend is justified *)
+
+val reason_string : skip_reason -> string
+(** Stable machine-readable tag, journaled and counted in the artifact. *)
+
+val run : Perturb.t -> verdict

@@ -125,6 +125,66 @@ let gao_rexford =
     prefer = compare;
   }
 
+(* ------------------------------------------------------------------ *)
+(* Daggitt–Griffin convergence preconditions, checked over the supported
+   extension steps of a concrete labeled graph: every weight reachable by
+   extending along a supported simple path is compared against its
+   extension.  Strict monotonicity over these steps rules out dispute
+   wheels in the compiled instance: a wheel's rim route extends the next
+   spoke's direct path, so chaining rank(rim_i) <= rank(Q_i) around the
+   wheel yields w(Q_0) < w(Q_1) < ... < w(Q_0). *)
+
+type conditions = {
+  monotone : bool;
+  strictly_monotone : bool;
+  steps_checked : int;
+}
+
+let check_conditions ?max_len alg g =
+  let n = Array.length g.names in
+  let max_len = match max_len with Some m -> m | None -> n in
+  let labels = Array.make_matrix n n None in
+  let adj = Array.make n [] in
+  List.iter
+    (fun (u, v, luv, lvu) ->
+      if u < 0 || u >= n || v < 0 || v >= n || u = v then
+        invalid_arg "Algebra.check_conditions: bad link";
+      labels.(u).(v) <- Some luv;
+      labels.(v).(u) <- Some lvu;
+      adj.(u) <- v :: adj.(u);
+      adj.(v) <- u :: adj.(v))
+    g.links;
+  let monotone = ref true and strict = ref true and steps = ref 0 in
+  (* DFS outward from the destination: [w] is the weight of the supported
+     path from [u] down to the destination along [visited]. *)
+  let rec explore visited u w len =
+    if len < max_len then
+      List.iter
+        (fun v ->
+          if not (List.mem v visited) then
+            match labels.(v).(u) with
+            | None -> ()
+            | Some label -> (
+              match alg.extend ~label w with
+              | None -> ()
+              | Some w' ->
+                incr steps;
+                let c = alg.prefer w' w in
+                if c < 0 then begin
+                  monotone := false;
+                  strict := false
+                end
+                else if c = 0 then strict := false;
+                explore (v :: visited) v w' (len + 1)))
+        adj.(u)
+  in
+  explore [ g.dest ] g.dest alg.origin 0;
+  {
+    monotone = !monotone;
+    strictly_monotone = !strict;
+    steps_checked = !steps;
+  }
+
 let lex ~name a b =
   {
     name;

@@ -54,6 +54,29 @@ val label_customer : int
 val label_peer : int
 val label_provider : int
 
+(** {1 Convergence preconditions}
+
+    Daggitt–Griffin-style algebraic convergence conditions, decided over
+    the supported extension steps of a concrete labeled graph (every
+    weight reachable by extending along a supported simple path of at
+    most [max_len] hops, compared against its one-step extension).  This
+    is the divergence hunter's cheap static filter: a strictly monotone
+    compilation cannot contain a dispute wheel — chaining the wheel
+    inequality [rank(R_i·Q_{i+1}) <= rank(Q_i)] around the pivots yields
+    a strictly increasing cycle of weights — hence converges under every
+    communication model, so no explorer budget need be spent on it. *)
+
+type conditions = {
+  monotone : bool;  (** no supported extension improves preference *)
+  strictly_monotone : bool;
+      (** every supported extension strictly worsens preference *)
+  steps_checked : int;  (** supported extension steps examined *)
+}
+
+val check_conditions : ?max_len:int -> 'w algebra -> labeled_graph -> conditions
+(** [max_len] defaults to the node count, matching {!compile}; the verdict
+    is sound for the instance compiled with the same [max_len]. *)
+
 val lex :
   name:string -> 'a algebra -> 'b algebra -> ('a * 'b) algebra
 (** Lexicographic product: prefer by the first algebra, break ties by the

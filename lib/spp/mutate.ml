@@ -1,0 +1,144 @@
+(* Validated instance surgery.  Every mutation rebuilds the instance
+   through [Instance.of_ranked], so a [Some] result is always well-formed;
+   [None] means the mutation would violate an instance invariant (e.g. a
+   rank tie through different next hops, or a path left dangling by an
+   edge removal). *)
+
+let rebuild inst ~edges ~keep_path =
+  let ranked =
+    List.filter_map
+      (fun v ->
+        if v = Instance.dest inst then None
+        else
+          Some
+            ( v,
+              List.filter_map
+                (fun p ->
+                  if keep_path v p then
+                    Option.map (fun r -> (p, r)) (Instance.rank inst v p)
+                  else None)
+                (Instance.permitted inst v) ))
+      (Instance.nodes inst)
+  in
+  match
+    Instance.of_ranked ~names:(Instance.names inst) ~dest:(Instance.dest inst)
+      ~edges ~ranked
+  with
+  | inst' -> Some inst'
+  | exception Invalid_argument _ -> None
+
+let with_ranked inst f =
+  let ranked =
+    List.filter_map
+      (fun v ->
+        if v = Instance.dest inst then None
+        else
+          let rs =
+            List.filter_map
+              (fun p -> Option.map (fun r -> (p, r)) (Instance.rank inst v p))
+              (Instance.permitted inst v)
+          in
+          Some (v, f v rs))
+      (Instance.nodes inst)
+  in
+  match
+    Instance.of_ranked ~names:(Instance.names inst) ~dest:(Instance.dest inst)
+      ~edges:(Instance.edges inst) ~ranked
+  with
+  | inst' -> Some inst'
+  | exception Invalid_argument _ -> None
+
+let swap_ranks inst v i j =
+  let paths = Instance.permitted inst v in
+  let n = List.length paths in
+  if v = Instance.dest inst || i < 0 || j < 0 || i >= n || j >= n || i = j then
+    None
+  else
+    let pi = List.nth paths i and pj = List.nth paths j in
+    with_ranked inst (fun u rs ->
+        if u <> v then rs
+        else
+          List.map
+            (fun (p, r) ->
+              if Path.equal p pi then (pj, r)
+              else if Path.equal p pj then (pi, r)
+              else (p, r))
+            rs)
+
+let drop_path inst v p =
+  if
+    v = Instance.dest inst
+    || not (Instance.is_permitted inst v p)
+  then None
+  else rebuild inst ~edges:(Instance.edges inst) ~keep_path:(fun v' p' ->
+      not (v' = v && Path.equal p' p))
+
+let add_path inst v p ~pos =
+  if
+    v = Instance.dest inst
+    || Instance.is_permitted inst v p
+    || Path.source p <> Some v
+  then None
+  else
+    with_ranked inst (fun u rs ->
+        if u <> v then rs
+        else
+          (* Re-rank positionally around the insertion point: relative
+             order of the existing paths is preserved exactly. *)
+          let existing = List.map fst rs in
+          let pos = max 0 (min pos (List.length existing)) in
+          let before = List.filteri (fun i _ -> i < pos) existing in
+          let after = List.filteri (fun i _ -> i >= pos) existing in
+          List.mapi (fun r q -> (q, r)) (before @ [ p ] @ after))
+
+let path_uses_edge (u, v) p =
+  let rec loop = function
+    | a :: (b :: _ as rest) -> ((a = u && b = v) || (a = v && b = u)) || loop rest
+    | _ -> false
+  in
+  loop (Path.to_nodes p)
+
+let drop_edge inst e =
+  if not (List.mem e (Instance.edges inst)) then None
+  else
+    let edges = List.filter (fun e' -> e' <> e) (Instance.edges inst) in
+    rebuild inst ~edges ~keep_path:(fun _ p -> not (path_uses_edge e p))
+
+let isolate inst v =
+  if v = Instance.dest inst then None
+  else
+    let edges =
+      List.filter (fun (a, b) -> a <> v && b <> v) (Instance.edges inst)
+    in
+    let touches_path =
+      List.exists
+        (fun u ->
+          u <> Instance.dest inst
+          && List.exists (Path.contains v) (Instance.permitted inst u))
+        (Instance.nodes inst)
+    in
+    (* Already isolated: report inapplicable rather than returning the
+       instance unchanged (a no-op [Some] would let greedy shrinkers loop). *)
+    if List.length edges = List.length (Instance.edges inst) && not touches_path
+    then None
+    else rebuild inst ~edges ~keep_path:(fun _ p -> not (Path.contains v p))
+
+let simple_paths ?max_len inst v =
+  let dest = Instance.dest inst in
+  let max_len =
+    match max_len with Some m -> m | None -> Instance.size inst
+  in
+  let acc = ref [] in
+  let rec explore rev_path u len =
+    if u = dest then acc := Path.of_nodes (List.rev rev_path) :: !acc
+    else if len < max_len then
+      List.iter
+        (fun w ->
+          if not (List.mem w rev_path) then explore (w :: rev_path) w (len + 1))
+        (Instance.neighbors inst u)
+  in
+  if v = dest then [ Path.of_nodes [ dest ] ]
+  else begin
+    explore [ v ] v 0;
+    List.sort Path.compare !acc
+  end

@@ -1,0 +1,46 @@
+(** Validated instance surgery.
+
+    The shared mutation primitives behind the conformance shrinker and the
+    adversarial divergence hunter: every operation rebuilds the instance
+    through {!Instance.of_ranked}, so a [Some] result is always
+    well-formed, and [None] means the mutation would break an instance
+    invariant (never a partially-mutated value). *)
+
+val rebuild :
+  Instance.t ->
+  edges:(Path.node * Path.node) list ->
+  keep_path:(Path.node -> Path.t -> bool) ->
+  Instance.t option
+(** Rebuild from the instance's own ranked tables, keeping only [edges]
+    and the permitted paths passing [keep_path]; surviving ranks are
+    preserved verbatim, so the preference order cannot drift. *)
+
+val swap_ranks : Instance.t -> Path.node -> int -> int -> Instance.t option
+(** [swap_ranks inst v i j] exchanges the ranks of [v]'s [i]-th and [j]-th
+    most preferred permitted paths (0-based preference positions).  [None]
+    on the destination, out-of-range positions, [i = j], or when the swap
+    would create an illegal tie. *)
+
+val drop_path : Instance.t -> Path.node -> Path.t -> Instance.t option
+(** Remove one permitted path; other ranks are untouched. *)
+
+val add_path : Instance.t -> Path.node -> Path.t -> pos:int -> Instance.t option
+(** [add_path inst v p ~pos] inserts [p] (a path from [v], not yet
+    permitted) at preference position [pos] (clamped), re-ranking [v]'s
+    paths positionally so the relative order of existing paths is
+    preserved.  [None] when [p] is not a simple graph path from [v] to the
+    destination (via {!Instance.of_ranked} validation). *)
+
+val drop_edge : Instance.t -> Path.node * Path.node -> Instance.t option
+(** Remove an edge together with every permitted path that crosses it. *)
+
+val isolate : Instance.t -> Path.node -> Instance.t option
+(** Remove all edges incident to a node, every permitted path through it,
+    and (consequently) all of its own permitted paths. *)
+
+val path_uses_edge : Path.node * Path.node -> Path.t -> bool
+
+val simple_paths : ?max_len:int -> Instance.t -> Path.node -> Path.t list
+(** All simple graph paths from a node to the destination (at most
+    [max_len] hops, default the node count), sorted; the raw material for
+    permitted-path additions. *)

@@ -1,0 +1,91 @@
+The divergence-hunter CLI: bad arguments are rejected with exit code 2,
+never an exception trace.
+
+  $ hunt --budget enormous 2>&1
+  hunt: unknown budget "enormous" (smoke|default|deep)
+  [2]
+
+  $ hunt --resume 2>&1
+  hunt: --resume requires --checkpoint PATH
+  [2]
+
+  $ hunt --seeds 0 2>&1
+  hunt: --seeds expects an int >= 1
+  [2]
+
+  $ hunt --checkpoint-every 0 2>&1
+  hunt: --checkpoint-every expects an int >= 1
+  [2]
+
+  $ hunt --compare-ignoring-timings just-one 2>/dev/null
+  [2]
+
+The seeded smoke hunt is deterministic: candidate generation uses its own
+seed-mixing (no global RNG), the explorer budget is fixed, and the static
+prefilter (dispute-wheel and strict-monotonicity certificates) skips
+candidates before any explorer spend.
+
+  $ hunt --seeds 1 --budget smoke --domains 1 --quiet --emit corpus -o run.json
+  hunt: 10 candidate(s) from 1 seed(s) at budget smoke
+  static prefilter skipped 7 (70%) before explorer spend
+  explored 3 under [R1O, REO, REA]; 3 finding(s)
+    s0-ring-swap2: separation: oscillates under R1O, converges under REO (4 nodes, 3 edges)
+    s0-alg-longest: separation: oscillates under R1O, converges under REO (3 nodes, 3 edges)
+    s0-alg-gr-longest: separation: oscillates under R1O, converges under REO (3 nodes, 3 edges)
+  wrote run.json
+
+The emitted artifact leads with its schema and the run's headline counts:
+
+  $ head -c 176 run.json; echo
+  {"schema":"commrouting/hunt_run/v1","seeds":1,"budget":"smoke","models":["R1O","REO","REA"],"channel_bound":3,"max_states":4000,"candidates":10,"skipped_static":7,"explored":3,
+
+Findings are shrunk before emission and carry the corpus schema:
+
+  $ ls corpus
+  s0-alg-gr-longest.json
+  s0-alg-longest.json
+  s0-ring-swap2.json
+
+  $ head -c 55 corpus/s0-ring-swap2.json; echo
+  {"schema":"commrouting/hunt/v1","name":"s0-ring-swap2",
+
+The emitted corpus replays clean:
+
+  $ hunt --replay corpus
+  ok   s0-alg-gr-longest: oscillates under R1O, converges under REO
+  ok   s0-alg-longest: oscillates under R1O, converges under REO
+  ok   s0-ring-swap2: oscillates under R1O, converges under REO
+  replayed 3 corpus entries, 0 failed
+
+A journaled hunt survives being killed mid-run: truncate the journal to a
+half-written state (a complete prefix plus a torn trailing record, as a
+SIGKILL mid-append would leave it), resume, and the artifact and corpus
+are reconstructed identically.
+
+  $ hunt --seeds 1 --budget smoke --domains 1 --quiet --checkpoint journal -o full.json > /dev/null
+  $ wc -l < journal
+  11
+  $ head -n 5 journal > torn && printf 'E\ts0-alg' >> torn
+  $ hunt --seeds 1 --budget smoke --domains 1 --checkpoint torn --resume --emit corpus2 -o resumed.json 2>progress >/dev/null
+  $ head -4 progress
+  s0-ring-swap           resumed from journal
+  s0-ring-swap2          resumed from journal
+  s0-gen-swap            resumed from journal
+  s0-gen-add             resumed from journal
+  $ hunt --compare-ignoring-timings full.json resumed.json
+  artifacts agree (ignoring timings)
+  $ diff -r corpus corpus2 && echo corpora-identical
+  corpora-identical
+
+A journal written under a different configuration is discarded, never
+imported:
+
+  $ hunt --seeds 2 --budget smoke --domains 1 --checkpoint journal --resume --quiet 2>/dev/null | head -1
+  hunt: 20 candidate(s) from 2 seed(s) at budget smoke
+
+Artifact comparison is strict beyond timings:
+
+  $ sed 's/"skipped_static":7/"skipped_static":6/' run.json > tampered.json
+  $ hunt --compare-ignoring-timings run.json tampered.json
+  hunt: run.json and tampered.json disagree beyond timings
+  [1]

@@ -1,0 +1,35 @@
+(* Golden replay of the committed hunt corpus: for every finding in
+   results/hunt/, print its identity, recorded kind, replay verdict, and
+   the dispute wheel of the minimized gadget.  Diffed against
+   hunt_goldens.expected, so any drift in the corpus files, the explorer's
+   verdicts, or the wheel detector's output is a reviewable change.
+   Regenerate deliberately with `dune promote`. *)
+
+let () =
+  let dir = Sys.argv.(1) in
+  let files =
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".json")
+    |> List.sort String.compare
+  in
+  List.iter
+    (fun file ->
+      match Hunt.Corpus.load (Filename.concat dir file) with
+      | Error e -> Fmt.pr "%s: LOAD ERROR %s@." file e
+      | Ok f ->
+        let o = Hunt.Corpus.replay f in
+        Fmt.pr "== %s@." f.Hunt.Corpus.name;
+        Fmt.pr "   %s@." f.Hunt.Corpus.descr;
+        Fmt.pr "   kind: %a@." Hunt.Corpus.pp_kind f.Hunt.Corpus.kind;
+        Fmt.pr "   gadget: %d nodes, %d edges (channel bound %d, %d states)@."
+          (Spp.Instance.size f.Hunt.Corpus.inst)
+          (List.length (Spp.Instance.edges f.Hunt.Corpus.inst))
+          f.Hunt.Corpus.channel_bound f.Hunt.Corpus.max_states;
+        Fmt.pr "   replay: %s (%s)@."
+          (if o.Hunt.Corpus.ok then "ok" else "FAIL")
+          o.Hunt.Corpus.detail;
+        (match Spp.Dispute.find f.Hunt.Corpus.inst with
+        | Some w ->
+          Fmt.pr "   %a@." (Spp.Dispute.pp_wheel f.Hunt.Corpus.inst) w
+        | None -> Fmt.pr "   no dispute wheel (!)@."))
+    files
