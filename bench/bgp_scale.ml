@@ -1,0 +1,788 @@
+(* Partitioned internet-scale BGP sweep: the sharded simulator
+   (Bgp.Shard) over generated AS hierarchies, emitting the committed
+   machine-readable artifact results/BENCH_bgp.json (schema
+   commrouting/bench_bgp/v1).
+
+   Sections:
+   - "topologies": the generated graphs (node/link counts, digest) and
+     the partition quality at the swept shard count (cut edges,
+     imbalance).
+   - "parity": on a small topology every sampled (model, shard count)
+     run is checked against the legacy engine pipeline (Simulate.run on
+     the compiled SPP instance).  Wheel-free Gao-Rexford instances have
+     a unique stable solution, so the final assignments must be equal —
+     any mismatch fails the run.
+   - "cases": the scaled sweep.  Per (topology, model, shards):
+     convergence, epochs, activation/message/flush/drop counts and the
+     route digest.  All of it is deterministic — independent of worker
+     count and machine — so CI regenerates the artifact and diffs it
+     against the committed one with --compare-ignoring-timings.  Within
+     a (topology, model) the route digests of every shard count must
+     agree (the K-shard fixpoint is the 1-shard fixpoint).
+   - "speedup": wall-clock of the K-shard parallel run against the
+     1-shard run, per model on the largest topology.  Volatile (timing),
+     and honest: when the worker pool never engages (1 worker or 1 core)
+     the artifact carries degraded=true and --min-speedup does not
+     gate — a 1-core container records its truth instead of fabricating
+     a speedup.
+
+   A killed sweep resumes: --checkpoint journals each finished case
+   (conformance's Generic journal: append-only, crash-tolerant,
+   fingerprinted by the sweep configuration) and --resume replays the
+   journal instead of re-running finished cases. *)
+
+open Engine
+module Json = Metrics.Json
+module Journal = Conformance.Journal.Generic
+
+let schema = "commrouting/bench_bgp/v1"
+let journal_magic = "commrouting/bench_bgp_journal/v1"
+
+(* ------------------------------------------------------------------ *)
+(* Budgets. *)
+
+type budget = Smoke | Default | Deep
+
+let budget_name = function Smoke -> "smoke" | Default -> "default" | Deep -> "deep"
+
+let scaled_small =
+  { Bgp.Topology.s_tier1 = 4; s_tier2 = 40; s_stubs = 400; s_peer_links = 30; s_seed = 3 }
+
+let scaled_10k = Bgp.Topology.default_scaled_config
+
+let scaled_100k =
+  { Bgp.Topology.default_scaled_config with s_tier2 = 4_000; s_stubs = 96_000; s_peer_links = 2_000 }
+
+(* The 100k block samples the corners of the model grid (both
+   reliability rows, the O/S/A message columns across neighbor minors)
+   rather than all 24; the 10k block covers the full grid. *)
+let corner_models =
+  List.filter_map Model.of_string [ "R1O"; "RMS"; "REA"; "RMA"; "U1O"; "UMS"; "UEA"; "UMA" ]
+
+(* (tag, config) blocks per budget; every block is swept over the model
+   list with shard counts [1; K]. *)
+let blocks budget =
+  match budget with
+  | Smoke -> [ ("scaled-small", scaled_small, Model.all) ]
+  | Default -> [ ("scaled-10k", scaled_10k, Model.all) ]
+  | Deep -> [ ("scaled-10k", scaled_10k, Model.all); ("scaled-100k", scaled_100k, corner_models) ]
+
+let default_shards = function Smoke -> 2 | Default | Deep -> 8
+
+(* ------------------------------------------------------------------ *)
+(* Cases. *)
+
+type case = {
+  topology : string;
+  model : Model.t;
+  shards : int;
+  batching : string;
+  lossy_every : int;
+  converged : bool;
+  epochs : int;
+  activations : int;
+  messages : int;
+  cross_messages : int;
+  flushes : int;
+  drops : int;
+  digest : string;
+  pool_engaged : bool;
+  wall_s : float;
+}
+
+let batching_name = function
+  | Bgp.Shard.Per_epoch -> "epoch"
+  | Bgp.Shard.Every n -> string_of_int n
+
+let run_case ~workers ~seed ~batch ~repeat tag topo model shards =
+  let cfg =
+    { (Bgp.Shard.config_for ~shards ~workers ?batching:batch model) with Bgp.Shard.seed }
+  in
+  let best_wall = ref infinity and result = ref None in
+  for _ = 1 to max 1 repeat do
+    let t0 = Unix.gettimeofday () in
+    let r = Bgp.Shard.run cfg topo ~dest:(Bgp.Topology.size topo - 1) in
+    let wall = Unix.gettimeofday () -. t0 in
+    if wall < !best_wall then best_wall := wall;
+    match !result with
+    | None -> result := Some r
+    | Some prev ->
+      (* repeats must be bit-identical; anything else is a determinism bug *)
+      if Bgp.Shard.route_digest prev <> Bgp.Shard.route_digest r then begin
+        Printf.eprintf "bgp_scale: nondeterministic repeat on %s/%s/%d\n" tag
+          (Model.to_string model) shards;
+        exit 1
+      end
+  done;
+  let r = Option.get !result in
+  {
+    topology = tag;
+    model;
+    shards;
+    batching = batching_name cfg.Bgp.Shard.batching;
+    lossy_every = cfg.Bgp.Shard.lossy_every;
+    converged = r.Bgp.Shard.converged;
+    epochs = r.Bgp.Shard.epochs;
+    activations = r.Bgp.Shard.activations;
+    messages = r.Bgp.Shard.messages;
+    cross_messages = r.Bgp.Shard.cross_messages;
+    flushes = r.Bgp.Shard.flushes;
+    drops = r.Bgp.Shard.drops;
+    digest = Bgp.Shard.route_digest r;
+    pool_engaged = r.Bgp.Shard.pool_engaged;
+    wall_s = !best_wall;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Journal codec: one record per finished case. *)
+
+let case_key tag model shards = Printf.sprintf "%s/%s/%d" tag (Model.to_string model) shards
+
+let record_of_case c =
+  [
+    c.topology;
+    Model.to_string c.model;
+    string_of_int c.shards;
+    c.batching;
+    string_of_int c.lossy_every;
+    (if c.converged then "1" else "0");
+    string_of_int c.epochs;
+    string_of_int c.activations;
+    string_of_int c.messages;
+    string_of_int c.cross_messages;
+    string_of_int c.flushes;
+    string_of_int c.drops;
+    c.digest;
+    (if c.pool_engaged then "1" else "0");
+    Printf.sprintf "%.6f" c.wall_s;
+  ]
+
+let case_of_record = function
+  | [
+      topology; model; shards; batching; lossy; converged; epochs; activations; messages;
+      cross; flushes; drops; digest; pool; wall;
+    ] -> (
+    match Model.of_string model with
+    | None -> None
+    | Some model -> (
+      try
+        Some
+          {
+            topology;
+            model;
+            shards = int_of_string shards;
+            batching;
+            lossy_every = int_of_string lossy;
+            converged = converged = "1";
+            epochs = int_of_string epochs;
+            activations = int_of_string activations;
+            messages = int_of_string messages;
+            cross_messages = int_of_string cross;
+            flushes = int_of_string flushes;
+            drops = int_of_string drops;
+            digest;
+            pool_engaged = pool = "1";
+            wall_s = float_of_string wall;
+          }
+      with Failure _ -> None))
+  | _ -> None
+
+(* The journal only resumes a sweep over the same case set: budget,
+   topologies, models, shard counts, partition seed and batching
+   override all participate in the fingerprint.  Worker count and
+   repeat count do not — they change only timings. *)
+let fingerprint ~budget ~shard_k ~seed ~batch topos =
+  let b = Buffer.create 256 in
+  Buffer.add_string b schema;
+  Buffer.add_string b (budget_name budget);
+  Buffer.add_string b (string_of_int shard_k);
+  Buffer.add_string b (string_of_int seed);
+  Buffer.add_string b (match batch with None -> "-" | Some bt -> batching_name bt);
+  List.iter
+    (fun (tag, topo, models) ->
+      Buffer.add_string b tag;
+      Buffer.add_string b (Bgp.Topology.digest topo);
+      List.iter (fun m -> Buffer.add_string b (Model.to_string m)) models)
+    topos;
+  Digest.to_hex (Digest.string (Buffer.contents b))
+
+(* ------------------------------------------------------------------ *)
+(* Legacy-engine parity on a compilable topology. *)
+
+type parity_row = {
+  p_model : Model.t;
+  p_shards : int;
+  p_legacy_steps : int;
+  p_legacy_messages : int;
+  p_epochs : int;
+  p_match : bool;
+}
+
+let parity_shards = [ 1; 2; 4 ]
+
+let run_parity () =
+  let topo =
+    Bgp.Topology.generate { Bgp.Topology.tier1 = 3; tier2 = 5; stubs = 8; seed = 42 }
+  in
+  let dest = Bgp.Topology.size topo - 1 in
+  let inst = Bgp.Policy.compile topo ~dest in
+  List.concat_map
+    (fun model ->
+      let legacy = Bgp.Simulate.run topo ~dest ~model ~scheduler:Scheduler.round_robin in
+      List.map
+        (fun shards ->
+          let cfg = Bgp.Shard.config_for ~shards model in
+          let r = Bgp.Shard.run cfg topo ~dest in
+          {
+            p_model = model;
+            p_shards = shards;
+            p_legacy_steps = legacy.Bgp.Simulate.steps;
+            p_legacy_messages = legacy.Bgp.Simulate.messages;
+            p_epochs = r.Bgp.Shard.epochs;
+            p_match =
+              r.Bgp.Shard.converged && legacy.Bgp.Simulate.converged
+              && Spp.Assignment.equal (Bgp.Shard.assignment inst r)
+                   legacy.Bgp.Simulate.assignment;
+          })
+        parity_shards)
+    Model.all
+
+(* ------------------------------------------------------------------ *)
+(* JSON emission. *)
+
+type topo_row = {
+  t_tag : string;
+  t_nodes : int;
+  t_links : int;
+  t_digest : string;
+  t_cut : int;
+  t_imbalance : float;
+}
+
+let topo_row ~shard_k ~seed (tag, topo, _) =
+  let part = Bgp.Partition.make ~seed ~shards:shard_k topo in
+  {
+    t_tag = tag;
+    t_nodes = Bgp.Topology.size topo;
+    t_links = List.length (Bgp.Topology.edges topo);
+    t_digest = Bgp.Topology.digest topo;
+    t_cut = Bgp.Partition.cut_edges part;
+    t_imbalance = Bgp.Partition.imbalance part;
+  }
+
+type speedup_row = { s_topology : string; s_model : Model.t; s_speedup : float }
+
+(* Speedup per (largest topology, model): wall of the 1-shard case over
+   the wall of the K-shard case.  Volatile by construction. *)
+let speedups cases =
+  let largest =
+    List.fold_left
+      (fun acc (t : topo_row) -> if t.t_nodes > snd acc then (t.t_tag, t.t_nodes) else acc)
+      ("", 0)
+  in
+  fun topo_rows ->
+    let tag = fst (largest topo_rows) in
+    List.filter_map
+      (fun c ->
+        if c.topology = tag && c.shards > 1 then
+          match
+            List.find_opt (fun c1 -> c1.topology = tag && c1.model = c.model && c1.shards = 1) cases
+          with
+          | Some c1 when c.wall_s > 0. ->
+            Some { s_topology = tag; s_model = c.model; s_speedup = c1.wall_s /. c.wall_s }
+          | _ -> None
+        else None)
+      cases
+
+let geomean = function
+  | [] -> 0.
+  | l ->
+    exp (List.fold_left (fun acc s -> acc +. log (Float.max 1e-9 s.s_speedup)) 0. l
+        /. float_of_int (List.length l))
+
+let json_of_case c =
+  Json.Obj
+    [
+      ("topology", Json.Str c.topology);
+      ("model", Json.Str (Model.to_string c.model));
+      ("shards", Json.Num (float_of_int c.shards));
+      ("batching", Json.Str c.batching);
+      ("lossy_every", Json.Num (float_of_int c.lossy_every));
+      ("converged", Json.Bool c.converged);
+      ("epochs", Json.Num (float_of_int c.epochs));
+      ("activations", Json.Num (float_of_int c.activations));
+      ("messages", Json.Num (float_of_int c.messages));
+      ("cross_messages", Json.Num (float_of_int c.cross_messages));
+      ("flushes", Json.Num (float_of_int c.flushes));
+      ("drops", Json.Num (float_of_int c.drops));
+      ("route_digest", Json.Str c.digest);
+      ("pool_engaged", Json.Bool c.pool_engaged);
+      ("wall_s", Json.Num c.wall_s);
+    ]
+
+let json_of_parity p =
+  Json.Obj
+    [
+      ("model", Json.Str (Model.to_string p.p_model));
+      ("shards", Json.Num (float_of_int p.p_shards));
+      ("legacy_steps", Json.Num (float_of_int p.p_legacy_steps));
+      ("legacy_messages", Json.Num (float_of_int p.p_legacy_messages));
+      ("epochs", Json.Num (float_of_int p.p_epochs));
+      ("match", Json.Bool p.p_match);
+    ]
+
+let json_of_topo t =
+  Json.Obj
+    [
+      ("tag", Json.Str t.t_tag);
+      ("nodes", Json.Num (float_of_int t.t_nodes));
+      ("links", Json.Num (float_of_int t.t_links));
+      ("digest", Json.Str t.t_digest);
+      ("cut_edges", Json.Num (float_of_int t.t_cut));
+      ("imbalance", Json.Num t.t_imbalance);
+    ]
+
+let json_of_speedup s =
+  Json.Obj
+    [
+      ("topology", Json.Str s.s_topology);
+      ("model", Json.Str (Model.to_string s.s_model));
+      ("speedup", Json.Num s.s_speedup);
+    ]
+
+let to_json ~budget ~shard_k ~seed ~workers ~cores ~degraded topo_rows parity cases sp =
+  Json.Obj
+    [
+      ("schema", Json.Str schema);
+      ("budget", Json.Str (budget_name budget));
+      ("shard_k", Json.Num (float_of_int shard_k));
+      ("seed", Json.Num (float_of_int seed));
+      ("workers", Json.Num (float_of_int workers));
+      ("cores", Json.Num (float_of_int cores));
+      ("degraded", Json.Bool degraded);
+      ("topologies", Json.List (List.map json_of_topo topo_rows));
+      ("parity", Json.List (List.map json_of_parity parity));
+      ("cases", Json.List (List.map json_of_case cases));
+      ("speedup", Json.List (List.map json_of_speedup sp));
+      ("speedup_geomean", Json.Num (geomean sp));
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Artifact comparison, same contract as the other benches: identical
+   after blanking machine-dependent measurements, unknown fields are an
+   error. *)
+
+let volatile_keys =
+  [ "wall_s"; "workers"; "cores"; "degraded"; "pool_engaged"; "speedup"; "speedup_geomean" ]
+
+let known_keys =
+  [
+    "schema";
+    "budget";
+    "shard_k";
+    "seed";
+    "topologies";
+    "parity";
+    "cases";
+    (* topologies *)
+    "tag";
+    "nodes";
+    "links";
+    "digest";
+    "cut_edges";
+    "imbalance";
+    (* parity *)
+    "model";
+    "shards";
+    "legacy_steps";
+    "legacy_messages";
+    "epochs";
+    "match";
+    (* cases *)
+    "topology";
+    "batching";
+    "lossy_every";
+    "converged";
+    "activations";
+    "messages";
+    "cross_messages";
+    "flushes";
+    "drops";
+    "route_digest";
+  ]
+
+let rec first_unknown_key path = function
+  | Json.Obj fields ->
+    List.fold_left
+      (fun acc (k, v) ->
+        match acc with
+        | Some _ -> acc
+        | None ->
+          if not (List.mem k known_keys || List.mem k volatile_keys) then
+            Some (path ^ "." ^ k)
+          else first_unknown_key (path ^ "." ^ k) v)
+      None fields
+  | Json.List l ->
+    List.fold_left
+      (fun (i, acc) v ->
+        match acc with
+        | Some _ -> (i + 1, acc)
+        | None -> (i + 1, first_unknown_key (Printf.sprintf "%s[%d]" path i) v))
+      (0, None) l
+    |> snd
+  | _ -> None
+
+let rec scrub = function
+  | Json.Obj fields ->
+    Json.Obj
+      (List.map
+         (fun (k, v) -> (k, if List.mem k volatile_keys then Json.Null else scrub v))
+         fields)
+  | Json.List l -> Json.List (List.map scrub l)
+  | v -> v
+
+let rec first_diff path a b =
+  match (a, b) with
+  | Json.Obj fa, Json.Obj fb ->
+    if List.map fst fa <> List.map fst fb then Some (path ^ ": field sets differ")
+    else
+      List.fold_left2
+        (fun acc (k, va) (_, vb) ->
+          match acc with Some _ -> acc | None -> first_diff (path ^ "." ^ k) va vb)
+        None fa fb
+  | Json.List la, Json.List lb ->
+    if List.length la <> List.length lb then Some (path ^ ": list lengths differ")
+    else
+      List.fold_left2
+        (fun (i, acc) va vb ->
+          match acc with
+          | Some _ -> (i + 1, acc)
+          | None -> (i + 1, first_diff (Printf.sprintf "%s[%d]" path i) va vb))
+        (0, None) la lb
+      |> snd
+  | a, b -> if a = b then None else Some path
+
+let compare_ignoring_timings path_a path_b =
+  let parse p =
+    match In_channel.with_open_bin p In_channel.input_all with
+    | exception Sys_error e ->
+      prerr_endline ("bgp_scale: " ^ e);
+      exit 2
+    | text -> (
+      match Json.parse text with
+      | Ok v -> (
+        match first_unknown_key "$" v with
+        | Some where ->
+          Printf.eprintf
+            "bgp_scale: %s has a field this comparer does not know at %s; extend \
+             known_keys or volatile_keys before trusting the verdict\n"
+            p where;
+          exit 2
+        | None -> scrub v)
+      | Error e ->
+        Printf.eprintf "bgp_scale: %s does not parse: %s\n" p e;
+        exit 2)
+  in
+  let a = parse path_a and b = parse path_b in
+  match first_diff "$" a b with
+  | None ->
+    Printf.printf "%s and %s are identical modulo timings\n" path_a path_b;
+    exit 0
+  | Some where ->
+    Printf.eprintf "bgp_scale: %s and %s differ at %s\n" path_a path_b where;
+    exit 1
+
+(* ------------------------------------------------------------------ *)
+(* Gates. *)
+
+let gate_failures parity cases =
+  let fails = ref [] in
+  let fail fmt = Printf.ksprintf (fun s -> fails := s :: !fails) fmt in
+  List.iter
+    (fun p ->
+      if not p.p_match then
+        fail "parity: %d-shard run disagrees with the legacy engine under %s" p.p_shards
+          (Model.to_string p.p_model))
+    parity;
+  List.iter
+    (fun c ->
+      if not c.converged then
+        fail "%s: did not converge within the epoch budget" (case_key c.topology c.model c.shards))
+    cases;
+  (* route digests must agree across shard counts of a (topology, model) *)
+  List.iter
+    (fun c ->
+      if c.shards > 1 then
+        match
+          List.find_opt
+            (fun c1 -> c1.topology = c.topology && c1.model = c.model && c1.shards = 1)
+            cases
+        with
+        | Some c1 when c1.digest <> c.digest ->
+          fail "%s: %d-shard routes differ from the 1-shard fixpoint"
+            (case_key c.topology c.model c.shards)
+            c.shards
+        | _ -> ())
+    cases;
+  List.rev !fails
+
+(* ------------------------------------------------------------------ *)
+
+let pp_summary ppf (topo_rows, parity, cases, sp, degraded) =
+  List.iter
+    (fun t ->
+      Fmt.pf ppf "  %-12s %6d nodes %6d links  cut=%-5d imbalance=%.2f@." t.t_tag t.t_nodes
+        t.t_links t.t_cut t.t_imbalance)
+    topo_rows;
+  Fmt.pf ppf "  parity: %d/%d (model, shards) runs match the legacy engine@."
+    (List.length (List.filter (fun p -> p.p_match) parity))
+    (List.length parity);
+  List.iter
+    (fun c ->
+      Fmt.pf ppf
+        "  %-12s %-4s K=%-2d batch=%-5s epochs=%-6d acts=%-8d msgs=%-8d cross=%-7d \
+         drops=%-5d %s@."
+        c.topology (Model.to_string c.model) c.shards c.batching c.epochs c.activations
+        c.messages c.cross_messages c.drops
+        (if c.converged then "converged" else "STUCK"))
+    cases;
+  if sp <> [] then
+    Fmt.pf ppf "  speedup (largest topology, K-shard vs 1-shard): geomean %.2fx%s@."
+      (geomean sp)
+      (if degraded then " [degraded: no parallel capacity, not a parallel speedup]" else "")
+
+let emit ~budget ~shard_k ~seed ~workers ~batch ~repeat ~models_filter ~checkpoint
+    ~checkpoint_every ~resume ~path =
+  let restrict models =
+    match models_filter with
+    | None -> models
+    | Some keep -> List.filter (fun m -> List.exists (Model.equal m) keep) models
+  in
+  let built =
+    List.filter_map
+      (fun (tag, cfg, models) ->
+        match restrict models with
+        | [] -> None
+        | models -> Some (tag, Bgp.Topology.generate_scaled cfg, models))
+      (blocks budget)
+  in
+  if built = [] then begin
+    prerr_endline "bgp_scale: --models filtered every case away";
+    exit 2
+  end;
+  let journal =
+    match checkpoint with
+    | None -> None
+    | Some jpath ->
+      let fp = fingerprint ~budget ~shard_k ~seed ~batch built in
+      let writer, records =
+        Journal.open_ ~path:jpath ~magic:journal_magic ~fingerprint:fp ~resume
+          ~flush_every:checkpoint_every
+      in
+      let done_ = Hashtbl.create 64 in
+      List.iter
+        (fun r ->
+          match case_of_record r with
+          | Some c -> Hashtbl.replace done_ (case_key c.topology c.model c.shards) c
+          | None -> ())
+        records;
+      Some (writer, done_)
+  in
+  let resumed = ref 0 in
+  let run_or_replay tag topo model shards =
+    let key = case_key tag model shards in
+    match journal with
+    | Some (_, done_) when Hashtbl.mem done_ key ->
+      incr resumed;
+      Hashtbl.find done_ key
+    | _ ->
+      let c = run_case ~workers ~seed ~batch ~repeat tag topo model shards in
+      (match journal with
+      | Some (writer, _) -> Journal.record writer (record_of_case c)
+      | None -> ());
+      c
+  in
+  let cases =
+    List.concat_map
+      (fun (tag, topo, models) ->
+        List.concat_map
+          (fun model -> List.map (run_or_replay tag topo model) [ 1; shard_k ])
+          models)
+      built
+  in
+  (match journal with Some (writer, _) -> Journal.close writer | None -> ());
+  let parity = run_parity () in
+  let topo_rows = List.map (topo_row ~shard_k ~seed) built in
+  let sp = speedups cases topo_rows in
+  let cores = Domain.recommended_domain_count () in
+  (* degraded: the measured "speedup" is not a parallel speedup — either
+     the pool never ran (1 worker) or there is no second core to run it
+     on.  Recorded as-is; never dressed up. *)
+  let degraded = (not (List.exists (fun c -> c.pool_engaged) cases)) || cores < 2 in
+  let text =
+    Json.to_string
+      (to_json ~budget ~shard_k ~seed ~workers ~cores ~degraded topo_rows parity cases sp)
+  in
+  Snapshot.write_atomic path text;
+  let parse_failure =
+    match Json.parse text with
+    | Ok v -> if Json.member "cases" v = None then [ "emitted JSON lacks a cases field" ] else []
+    | Error e -> [ "emitted JSON does not parse: " ^ e ]
+  in
+  ((topo_rows, parity, cases, sp, degraded), !resumed, parse_failure @ gate_failures parity cases)
+
+(* ------------------------------------------------------------------ *)
+
+let usage =
+  "usage: bgp_scale [-o FILE] [--budget smoke|default|deep] [--models CSV]\n\
+  \                 [--shards K] [--workers N] [--seed N] [--batch epoch|N]\n\
+  \                 [--repeat N] [--checkpoint FILE] [--checkpoint-every N]\n\
+  \                 [--resume] [--min-speedup X]\n\
+  \                 [--compare-ignoring-timings A B]\n\
+   \  -o FILE          artifact path (default BENCH_bgp.json)\n\
+   \  --budget B       smoke (~450-node topology), default (10k nodes, all 24\n\
+   \                   models; the committed-artifact budget) or deep (adds a\n\
+   \                   100k-node block over the model-grid corners)\n\
+   \  --models CSV     restrict the sweep to these models (e.g. RMS,U1O)\n\
+   \  --shards K       sweep shard counts {1, K} (default 2 for smoke, 8 else)\n\
+   \  --workers N      domains for the parallel phase (default 1)\n\
+   \  --seed N         partition seed (default 0)\n\
+   \  --batch B        override model-derived batching: 'epoch' or a count\n\
+   \  --repeat N       run each case N times, keep the best wall time\n\
+   \  --checkpoint F   journal finished cases to F (crash-tolerant)\n\
+   \  --checkpoint-every N  flush cadence in cases (default 1)\n\
+   \  --resume         replay a matching journal instead of re-running\n\
+   \  --min-speedup X  exit 1 if the K-shard geomean speedup on the largest\n\
+   \                   topology is below X; skipped (with a [degraded] note)\n\
+   \                   when the pool never engages, so 1-core runs record\n\
+   \                   honest numbers instead of failing\n\
+   \  --compare-ignoring-timings A B  exit 0 iff artifacts A and B are\n\
+   \                   identical after blanking wall times and machine-\n\
+   \                   dependent fields; unknown fields are an error\n"
+
+let bad msg =
+  Printf.eprintf "bgp_scale: %s\n%s" msg usage;
+  exit 2
+
+let main () =
+  let path = ref "BENCH_bgp.json" in
+  let budget = ref Default in
+  let models = ref None in
+  let shard_k = ref None in
+  let workers = ref 1 in
+  let seed = ref 0 in
+  let batch = ref None in
+  let repeat = ref 1 in
+  let checkpoint = ref None in
+  let checkpoint_every = ref 1 in
+  let resume = ref false in
+  let min_speedup = ref None in
+  let compare_paths = ref None in
+  let int_arg name v k =
+    match int_of_string_opt v with Some n -> k n | None -> bad (name ^ " needs an integer")
+  in
+  let rec parse = function
+    | [] -> ()
+    | "-o" :: file :: rest ->
+      path := file;
+      parse rest
+    | "--budget" :: b :: rest ->
+      (match b with
+      | "smoke" -> budget := Smoke
+      | "default" -> budget := Default
+      | "deep" -> budget := Deep
+      | other -> bad (Printf.sprintf "unknown budget %S" other));
+      parse rest
+    | "--models" :: csv :: rest ->
+      let names = String.split_on_char ',' csv in
+      let parsed =
+        List.map
+          (fun n -> match Model.of_string n with Some m -> m | None -> bad ("unknown model " ^ n))
+          names
+      in
+      models := Some parsed;
+      parse rest
+    | "--shards" :: v :: rest ->
+      int_arg "--shards" v (fun n ->
+          if n < 2 then bad "--shards must be at least 2 (1-shard baseline is implicit)";
+          shard_k := Some n);
+      parse rest
+    | "--workers" :: v :: rest ->
+      int_arg "--workers" v (fun n -> workers := max 1 n);
+      parse rest
+    | "--seed" :: v :: rest ->
+      int_arg "--seed" v (fun n -> seed := n);
+      parse rest
+    | "--batch" :: v :: rest ->
+      (match v with
+      | "epoch" -> batch := Some Bgp.Shard.Per_epoch
+      | v ->
+        int_arg "--batch" v (fun n ->
+            if n < 1 then bad "--batch count must be positive";
+            batch := Some (Bgp.Shard.Every n)));
+      parse rest
+    | "--repeat" :: v :: rest ->
+      int_arg "--repeat" v (fun n -> repeat := max 1 n);
+      parse rest
+    | "--checkpoint" :: file :: rest ->
+      checkpoint := Some file;
+      parse rest
+    | "--checkpoint-every" :: v :: rest ->
+      int_arg "--checkpoint-every" v (fun n -> checkpoint_every := max 1 n);
+      parse rest
+    | "--resume" :: rest ->
+      resume := true;
+      parse rest
+    | "--min-speedup" :: v :: rest ->
+      (match float_of_string_opt v with
+      | Some f -> min_speedup := Some f
+      | None -> bad "--min-speedup needs a number");
+      parse rest
+    | "--compare-ignoring-timings" :: a :: b :: rest ->
+      compare_paths := Some (a, b);
+      parse rest
+    | "--compare-ignoring-timings" :: _ -> bad "--compare-ignoring-timings needs two files"
+    | [ ("-o" | "--budget" | "--models" | "--shards" | "--workers" | "--seed" | "--batch"
+        | "--repeat" | "--checkpoint" | "--checkpoint-every" | "--min-speedup") as flag ] ->
+      bad (flag ^ " needs an argument")
+    | arg :: _ -> bad (Printf.sprintf "unknown argument %S" arg)
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  match !compare_paths with
+  | Some (a, b) -> compare_ignoring_timings a b
+  | None ->
+    if !resume && !checkpoint = None then bad "--resume needs --checkpoint";
+    let budget = !budget in
+    let shard_k = match !shard_k with Some k -> k | None -> default_shards budget in
+    let results, resumed, failures =
+      emit ~budget ~shard_k ~seed:!seed ~workers:!workers ~batch:!batch ~repeat:!repeat
+        ~models_filter:!models ~checkpoint:!checkpoint ~checkpoint_every:!checkpoint_every
+        ~resume:!resume ~path:!path
+    in
+    let _, _, _, sp, degraded = results in
+    Fmt.pr "bgp scale sweep (%s budget, K=%d, %d workers):@.%a" (budget_name budget) shard_k
+      !workers pp_summary results;
+    if resumed > 0 then Fmt.pr "resumed %d finished case(s) from the journal@." resumed;
+    Fmt.pr "wrote %s@." !path;
+    if failures <> [] then begin
+      List.iter (fun f -> Printf.eprintf "bgp_scale: %s\n" f) failures;
+      exit 1
+    end;
+    (match !min_speedup with
+    | None -> ()
+    | Some thr ->
+      if degraded then
+        Fmt.pr "[degraded] pool never engaged (workers=%d, cores=%d): --min-speedup not gated@."
+          !workers
+          (Domain.recommended_domain_count ())
+      else begin
+        let g = geomean sp in
+        if g < thr then begin
+          Printf.eprintf "bgp_scale: geomean speedup %.2fx below the --min-speedup %.2fx gate\n" g
+            thr;
+          exit 1
+        end
+        else Fmt.pr "speedup gate: %.2fx >= %.2fx@." g thr
+      end)
+
+let () = main ()

@@ -30,19 +30,18 @@ type reconvergence = {
   assignment : Assignment.t;
 }
 
-let reconverge ?(max_steps = 50_000) event ~before ~model =
+let reconverge ?metrics ?(max_steps = 50_000) event ~before ~model =
   let inst = event.instance in
+  let messages = ref 0 in
   let r =
-    Executor.run_from ~max_steps ~state:event.state inst
+    Executor.run_streaming ?metrics ~max_steps ~state:event.state
+      ~on_step:(fun (s : Trace.step) ->
+        messages := !messages + List.length s.Trace.outcome.Step.pushed)
+      inst
       (Scheduler.round_robin inst model)
   in
-  let trace = r.Executor.trace in
-  let messages =
-    List.fold_left
-      (fun acc (s : Trace.step) -> acc + List.length s.Trace.outcome.Step.pushed)
-      0 (Trace.steps trace)
-  in
-  let assignment = State.assignment inst (Trace.final trace) in
+  let messages = !messages in
+  let assignment = State.assignment inst r.Executor.final in
   let rerouted =
     List.length
       (List.filter
@@ -59,7 +58,7 @@ let reconverge ?(max_steps = 50_000) event ~before ~model =
   in
   {
     converged = r.Executor.stop = Executor.Quiescent;
-    steps = Trace.length trace;
+    steps = r.Executor.steps;
     messages;
     rerouted;
     lost;

@@ -32,6 +32,7 @@ type reconvergence = {
 }
 
 val reconverge :
+  ?metrics:Engine.Metrics.t ->
   ?max_steps:int ->
   event ->
   before:Spp.Assignment.t ->
@@ -39,4 +40,5 @@ val reconverge :
   reconvergence
 (** Runs the fair round-robin schedule of the model from the event state
     (with Gao–Rexford export semantics applied by the compiled instance's
-    permitted sets). *)
+    permitted sets), on the streaming executor — O(state) memory however
+    long the re-convergence takes. *)

@@ -1,0 +1,137 @@
+type t = {
+  topo : Topology.t;
+  shards : int;
+  owner : int array;
+  members : int array array; (* per shard, ascending node ids *)
+  border : (int * int) list; (* directed cut edges, sorted *)
+  cut_edges : int;
+}
+
+let shards t = t.shards
+let topology t = t.topo
+let owner t v = t.owner.(v)
+let members t s = Array.to_list t.members.(s)
+let size_of t s = Array.length t.members.(s)
+
+let border t = t.border
+let cut_edges t = t.cut_edges
+
+let cut_fraction t =
+  let total = List.length (Topology.edges t.topo) in
+  if total = 0 then 0.0 else float_of_int t.cut_edges /. float_of_int total
+
+let imbalance t =
+  let n = Topology.size t.topo in
+  let ideal = float_of_int n /. float_of_int t.shards in
+  let biggest = Array.fold_left (fun acc m -> max acc (Array.length m)) 0 t.members in
+  float_of_int biggest /. ideal
+
+(* Multi-source BFS distance from a seed set; unreached nodes stay at
+   max_int.  Used by farthest-point seeding. *)
+let distances topo seeds =
+  let n = Topology.size topo in
+  let dist = Array.make n max_int in
+  let q = Queue.create () in
+  List.iter
+    (fun s ->
+      dist.(s) <- 0;
+      Queue.add s q)
+    seeds;
+  while not (Queue.is_empty q) do
+    let u = Queue.pop q in
+    List.iter
+      (fun v ->
+        if dist.(v) = max_int then begin
+          dist.(v) <- dist.(u) + 1;
+          Queue.add v q
+        end)
+      (Topology.neighbors topo u)
+  done;
+  dist
+
+let make ?(seed = 0) ~shards topo =
+  let n = Topology.size topo in
+  if shards < 1 then invalid_arg "Partition.make: shards < 1";
+  if shards > n then invalid_arg "Partition.make: more shards than nodes";
+  (* Farthest-point seeding: the first root is seed-selected; each further
+     root maximizes BFS distance to the roots already chosen (unreached
+     components count as infinitely far), ties broken by lowest id. *)
+  let roots = ref [ ((seed mod n) + n) mod n ] in
+  for _ = 2 to shards do
+    let dist = distances topo !roots in
+    let best = ref (-1) and best_d = ref (-1) in
+    for v = 0 to n - 1 do
+      let d = dist.(v) in
+      if d > !best_d && not (List.mem v !roots) then begin
+        best := v;
+        best_d := d
+      end
+    done;
+    roots := !best :: !roots
+  done;
+  let roots = Array.of_list (List.rev !roots) in
+  (* Balanced greedy BFS growth: repeatedly the smallest shard with a
+     non-empty frontier claims the next node off its queue.  Nodes already
+     claimed by another shard are dropped lazily.  If every frontier dries
+     up while nodes remain (disconnected topology), the smallest shard is
+     re-seeded with the lowest unassigned node. *)
+  let owner = Array.make n (-1) in
+  let sizes = Array.make shards 0 in
+  let frontier = Array.init shards (fun _ -> Queue.create ()) in
+  let assigned = ref 0 in
+  let claim s v =
+    owner.(v) <- s;
+    sizes.(s) <- sizes.(s) + 1;
+    incr assigned;
+    List.iter
+      (fun u -> if owner.(u) = -1 then Queue.add u frontier.(s))
+      (Topology.neighbors topo v)
+  in
+  Array.iteri (fun s r -> claim s r) roots;
+  let next_unassigned = ref 0 in
+  while !assigned < n do
+    (* Smallest shard with work; ties by shard id. *)
+    let pick = ref (-1) in
+    for s = shards - 1 downto 0 do
+      if not (Queue.is_empty frontier.(s)) then
+        if !pick = -1 || sizes.(s) <= sizes.(!pick) then pick := s
+    done;
+    match !pick with
+    | -1 ->
+      while owner.(!next_unassigned) <> -1 do
+        incr next_unassigned
+      done;
+      let smallest = ref 0 in
+      for s = 1 to shards - 1 do
+        if sizes.(s) < sizes.(!smallest) then smallest := s
+      done;
+      claim !smallest !next_unassigned
+    | s ->
+      let v = Queue.pop frontier.(s) in
+      if owner.(v) = -1 then claim s v
+  done;
+  let members = Array.init shards (fun s -> Array.make sizes.(s) 0) in
+  let fill = Array.make shards 0 in
+  for v = 0 to n - 1 do
+    let s = owner.(v) in
+    members.(s).(fill.(s)) <- v;
+    fill.(s) <- fill.(s) + 1
+  done;
+  let border = ref [] and cut = ref 0 in
+  List.iter
+    (fun (a, b, _) ->
+      if owner.(a) <> owner.(b) then begin
+        incr cut;
+        border := (a, b) :: (b, a) :: !border
+      end)
+    (Topology.edges topo);
+  let border = List.sort compare !border in
+  { topo; shards; owner; members; border; cut_edges = !cut }
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>partition: %d shards over %d ASes@," t.shards (Topology.size t.topo);
+  Array.iteri
+    (fun s m -> Fmt.pf ppf "  shard %d: %d nodes@," s (Array.length m))
+    t.members;
+  Fmt.pf ppf "  cut: %d links (%.1f%%), imbalance %.2f@]" t.cut_edges
+    (100.0 *. cut_fraction t) (imbalance t)

@@ -65,6 +65,22 @@ let gr_permitted topo ~dest v =
       !acc
   end
 
+let labeled_graph topo ~dest =
+  let label = function
+    | Topology.Customer -> Algebra.label_customer
+    | Topology.Peer -> Algebra.label_peer
+    | Topology.Provider -> Algebra.label_provider
+  in
+  let links =
+    List.map
+      (fun (a, b, k) ->
+        match k with
+        | Topology.Provider_customer -> (a, b, label Topology.Customer, label Topology.Provider)
+        | Topology.Peer_peer -> (a, b, label Topology.Peer, label Topology.Peer))
+      (Topology.edges topo)
+  in
+  { Algebra.names = Topology.names topo; dest; links }
+
 let compile topo ~dest =
   let n = Topology.size topo in
   let edges =

@@ -28,6 +28,15 @@ val compile : Topology.t -> dest:Spp.Path.node -> Spp.Instance.t
 (** The SPP instance induced by the topology, the destination prefix, and
     Gao–Rexford policies. *)
 
+val labeled_graph : Topology.t -> dest:Spp.Path.node -> Spp.Algebra.labeled_graph
+(** The topology as an algebraically labeled graph: each link carries the
+    relationship of the next node as seen from the extender, so compiling
+    it under {!Spp.Algebra.gao_rexford} yields the same permitted sets as
+    {!compile} (the algebraic route and the operational route to the same
+    instances).  Works at any scale — a 100k-node {!Topology.generate_scaled}
+    graph labels in milliseconds; it is {e compiling} the result that is
+    only feasible for small instances. *)
+
 val export_policy : Topology.t -> Engine.Step.export
 (** The engine export hook implementing the export rules at announcement
     time (compile-time permitted sets already encode the same restriction;

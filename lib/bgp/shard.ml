@@ -1,0 +1,344 @@
+open Engine
+
+type batching = Per_epoch | Every of int
+
+type config = {
+  model : Model.t;
+  shards : int;
+  batching : batching;
+  workers : int;
+  max_epochs : int;
+  lossy_every : int;
+  seed : int;
+}
+
+let default_config =
+  {
+    model = { Model.rel = Reliable; nbr = N_multi; msg = M_some };
+    shards = 4;
+    batching = Per_epoch;
+    workers = 1;
+    max_epochs = 1_000_000;
+    lossy_every = 0;
+    seed = 0;
+  }
+
+let batching_of_model (m : Model.t) =
+  match m.msg with
+  | M_all | M_forced -> Per_epoch
+  | M_some -> Every 4
+  | M_one -> Every 1
+
+let lossy_of_model (m : Model.t) = match m.rel with Reliable -> 0 | Unreliable -> 3
+
+let config_for ?(shards = 4) ?(workers = 1) ?batching model =
+  let batching = match batching with Some b -> b | None -> batching_of_model model in
+  {
+    default_config with
+    model;
+    shards;
+    workers;
+    batching;
+    lossy_every = lossy_of_model model;
+  }
+
+type result = {
+  converged : bool;
+  epochs : int;
+  activations : int;
+  messages : int;
+  cross_messages : int;
+  flushes : int;
+  drops : int;
+  routes : Spp.Arena.id array;
+  partition : Partition.t;
+  pool_engaged : bool;
+}
+
+(* Gao-Rexford preference rank of a route by the relationship with its
+   first hop. *)
+let rank = function Topology.Customer -> 0 | Topology.Peer -> 1 | Topology.Provider -> 2
+
+(* Who a route may be exported to. *)
+type export_scope = No_route | All | Customers_only
+
+let run ?metrics cfg topo ~dest =
+  let n = Topology.size topo in
+  if dest < 0 || dest >= n then invalid_arg "Shard.run: dest out of range";
+  if (match cfg.batching with Every k -> k < 1 | Per_epoch -> false) then
+    invalid_arg "Shard.run: batch size < 1";
+  Metrics.timed ?m:metrics "shard" @@ fun () ->
+  let part = Partition.make ~seed:cfg.seed ~shards:cfg.shards topo in
+  let shards = cfg.shards in
+  (* Per-node adjacency snapshots: neighbor ids (ascending), how the node
+     sees each neighbor, and for neighbor i the index of the node in that
+     neighbor's own row (so a delivery is one array write, no search). *)
+  let nbrs = Array.init n (fun v -> Array.of_list (Topology.neighbors topo v)) in
+  let rel =
+    Array.init n (fun v ->
+        Array.map
+          (fun u ->
+            match Topology.relationship topo ~of_:v u with
+            | Some r -> r
+            | None -> assert false)
+          nbrs.(v))
+  in
+  let slot_of w v =
+    (* index of [v] in [nbrs.(w)] (ascending) *)
+    let row = nbrs.(w) in
+    let rec search lo hi =
+      let mid = (lo + hi) / 2 in
+      if row.(mid) = v then mid else if row.(mid) < v then search (mid + 1) hi else search lo mid
+    in
+    search 0 (Array.length row)
+  in
+  let back = Array.init n (fun v -> Array.map (fun w -> slot_of w v) nbrs.(v)) in
+  (* Routing state.  [rib_in.(v).(i)]: the last announcement received from
+     neighbor [nbrs.(v).(i)] (epsilon = none/withdrawn).  [chosen.(v)]: the
+     route currently selected and announced. *)
+  let eps = Spp.Arena.epsilon in
+  let rib_in = Array.init n (fun v -> Array.make (Array.length nbrs.(v)) eps) in
+  let chosen = Array.make n eps in
+  let trivial = Spp.Arena.of_nodes [ dest ] in
+  (* Per-shard worklists of dirty nodes and cross-partition outboxes.
+     During the parallel phase a shard touches only its own nodes' state,
+     its own worklist and its own outbox; rib_in rows of other shards are
+     written exclusively by the sequential barrier drain. *)
+  let wl = Array.init shards (fun _ -> Queue.create ()) in
+  let dirty = Array.make n false in
+  let outbox : (int * int * Spp.Arena.id) Queue.t array =
+    Array.init shards (fun _ -> Queue.create ())
+  in
+  let acts = Array.make shards 0 in
+  let msgs = Array.make shards 0 in
+  let cross = Array.make shards 0 in
+  let flushes = ref 0 and drops = ref 0 and lossy_count = ref 0 in
+  let enqueue v =
+    if not dirty.(v) then begin
+      dirty.(v) <- true;
+      Queue.add v wl.(Partition.owner part v)
+    end
+  in
+  let deliver w slot route =
+    if rib_in.(w).(slot) <> route then begin
+      rib_in.(w).(slot) <- route;
+      enqueue w
+    end
+  in
+  let export_scope v p =
+    if Spp.Arena.is_epsilon p then No_route
+    else
+      match Spp.Arena.to_nodes p with
+      | [ _ ] -> All (* the destination's trivial route: Origin class *)
+      | _ :: u :: _ -> (
+        match rel.(v).(slot_of v u) with
+        | Topology.Customer -> All
+        | Topology.Peer | Topology.Provider -> Customers_only)
+      | [] -> No_route
+  in
+  let effective scope rel_to_nbr p =
+    match scope with
+    | No_route -> eps
+    | All -> p
+    | Customers_only -> if rel_to_nbr = Topology.Customer then p else eps
+  in
+  (* Announce a route change to every neighbor whose effective view of the
+     node changed (the engine's Step.apply push rule); the destination
+     never receives. *)
+  let announce s v ~old ~now =
+    let scope_old = export_scope v old and scope_now = export_scope v now in
+    let row = nbrs.(v) and rels = rel.(v) and backs = back.(v) in
+    for i = 0 to Array.length row - 1 do
+      let w = row.(i) in
+      if w <> dest then begin
+        let eff_old = effective scope_old rels.(i) old in
+        let eff_now = effective scope_now rels.(i) now in
+        if eff_old <> eff_now then begin
+          msgs.(s) <- msgs.(s) + 1;
+          if Partition.owner part w = s then deliver w backs.(i) eff_now
+          else begin
+            cross.(s) <- cross.(s) + 1;
+            Queue.add (w, backs.(i), eff_now) outbox.(s)
+          end
+        end
+      end
+    done
+  in
+  let select v =
+    (* Best simple extension of the received announcements: an exported
+       route is valley-free by induction on the export chain, so v.p is
+       permitted iff it is simple. *)
+    let row = nbrs.(v) and rels = rel.(v) and rib = rib_in.(v) in
+    let best = ref eps and best_rank = ref max_int and best_len = ref max_int in
+    for i = 0 to Array.length row - 1 do
+      let r = rib.(i) in
+      if (not (Spp.Arena.is_epsilon r)) && not (Spp.Arena.contains v r) then begin
+        let rk = rank rels.(i) and len = 1 + Spp.Arena.length r in
+        let better =
+          rk < !best_rank
+          || (rk = !best_rank
+             && (len < !best_len
+                || (len = !best_len
+                   && compare (v :: Spp.Arena.to_nodes r) (Spp.Arena.to_nodes !best) < 0)))
+        in
+        if better then begin
+          best := Spp.Arena.extend v r;
+          best_rank := rk;
+          best_len := len
+        end
+      end
+    done;
+    !best
+  in
+  let activate s v =
+    if v = dest then begin
+      if Spp.Arena.is_epsilon chosen.(dest) then begin
+        chosen.(dest) <- trivial;
+        announce s dest ~old:eps ~now:trivial
+      end
+    end
+    else begin
+      let now = select v in
+      let old = chosen.(v) in
+      if now <> old then begin
+        chosen.(v) <- now;
+        announce s v ~old ~now
+      end
+    end
+  in
+  let phase s =
+    let cap =
+      match cfg.batching with
+      | Every k -> k
+      | Per_epoch ->
+        (* run the shard's cascade to (bounded) exhaustion *)
+        max 64 (16 * Partition.size_of part s)
+    in
+    let processed = ref 0 in
+    while !processed < cap && not (Queue.is_empty wl.(s)) do
+      let v = Queue.pop wl.(s) in
+      dirty.(v) <- false;
+      activate s v;
+      incr processed
+    done;
+    acts.(s) <- acts.(s) + !processed
+  in
+  let drain s =
+    if not (Queue.is_empty outbox.(s)) then begin
+      incr flushes;
+      let batch = Array.make (Queue.length outbox.(s)) (0, 0, eps) in
+      let i = ref 0 in
+      while not (Queue.is_empty outbox.(s)) do
+        batch.(!i) <- Queue.pop outbox.(s);
+        incr i
+      done;
+      (* The newest message per (dst, slot) channel always survives a lossy
+         flush, so drops shed traffic without changing the fixpoint. *)
+      let last = Hashtbl.create 64 in
+      Array.iteri (fun i (w, slot, _) -> Hashtbl.replace last (w, slot) i) batch;
+      Array.iteri
+        (fun i (w, slot, route) ->
+          let dropped =
+            cfg.lossy_every > 0
+            && Hashtbl.find last (w, slot) <> i
+            && begin
+                 incr lossy_count;
+                 !lossy_count mod cfg.lossy_every = 0
+               end
+          in
+          if dropped then incr drops else deliver w slot route)
+        batch
+    end
+  in
+  (* Epoch 1 activates everyone. *)
+  for s = 0 to shards - 1 do
+    List.iter
+      (fun v ->
+        dirty.(v) <- true;
+        Queue.add v wl.(s))
+      (Partition.members part s)
+  done;
+  let workers = max 1 (min cfg.workers shards) in
+  let pool_engaged = ref false in
+  let parallel_phase () =
+    if workers > 1 then begin
+      pool_engaged := true;
+      Pool.run (Pool.get ()) ~workers (fun wid ->
+          let s = ref wid in
+          while !s < shards do
+            phase !s;
+            s := !s + workers
+          done)
+    end
+    else
+      for s = 0 to shards - 1 do
+        phase s
+      done
+  in
+  let quiet () =
+    let q = ref true in
+    for s = 0 to shards - 1 do
+      if not (Queue.is_empty wl.(s)) then q := false
+    done;
+    !q
+  in
+  let rec loop epoch =
+    if epoch > cfg.max_epochs then (epoch - 1, false)
+    else begin
+      parallel_phase ();
+      for s = 0 to shards - 1 do
+        drain s
+      done;
+      if quiet () then (epoch, true) else loop (epoch + 1)
+    end
+  in
+  let epochs, converged = loop 1 in
+  let total a = Array.fold_left ( + ) 0 a in
+  (match metrics with
+  | None -> ()
+  | Some m ->
+    Metrics.add_steps m (total acts);
+    Metrics.add_messages m (total msgs));
+  {
+    converged;
+    epochs;
+    activations = total acts;
+    messages = total msgs;
+    cross_messages = total cross;
+    flushes = !flushes;
+    drops = !drops;
+    routes = Array.copy chosen;
+    partition = part;
+    pool_engaged = !pool_engaged;
+  }
+
+let assignment inst r =
+  Spp.Assignment.of_list inst
+    (Array.to_list
+       (Array.mapi (fun v id -> (v, Spp.Arena.path id)) r.routes))
+
+let route_digest r =
+  let b = Buffer.create (8 * Array.length r.routes) in
+  Array.iteri
+    (fun v id ->
+      Buffer.add_string b (string_of_int v);
+      Buffer.add_char b ':';
+      List.iter
+        (fun u ->
+          Buffer.add_string b (string_of_int u);
+          Buffer.add_char b ',')
+        (Spp.Arena.to_nodes id);
+      Buffer.add_char b ';')
+    r.routes;
+  Digest.to_hex (Digest.string (Buffer.contents b))
+
+let pp_result ppf r =
+  Fmt.pf ppf
+    "@[<v>sharded run: %s after %d epochs@,\
+    \  %d activations, %d messages (%d cross-shard, %d flushes, %d dropped)@,\
+    \  %d shards, cut %d links, pool %s@]"
+    (if r.converged then "converged" else "did NOT converge")
+    r.epochs r.activations r.messages r.cross_messages r.flushes r.drops
+    (Partition.shards r.partition)
+    (Partition.cut_edges r.partition)
+    (if r.pool_engaged then "engaged" else "idle")

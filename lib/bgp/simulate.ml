@@ -7,23 +7,24 @@ type result = {
   assignment : Spp.Assignment.t;
 }
 
-let run ?(max_steps = 50_000) ?(use_export_policy = true) topo ~dest ~model ~scheduler =
+let run ?metrics ?(max_steps = 50_000) ?(use_export_policy = true) topo ~dest ~model
+    ~scheduler =
   let inst = Policy.compile topo ~dest in
   let export =
     if use_export_policy then Policy.export_policy topo else Step.export_all
   in
-  let r = Executor.run ~export ~validate:model ~max_steps inst (scheduler inst model) in
-  let trace = r.Executor.trace in
-  let messages =
-    List.fold_left
-      (fun acc (s : Trace.step) -> acc + List.length s.Trace.outcome.Step.pushed)
-      0 (Trace.steps trace)
+  let messages = ref 0 in
+  let r =
+    Executor.run_streaming ~export ~validate:model ?metrics ~max_steps
+      ~on_step:(fun (s : Trace.step) ->
+        messages := !messages + List.length s.Trace.outcome.Step.pushed)
+      inst (scheduler inst model)
   in
   {
     converged = r.Executor.stop = Executor.Quiescent;
-    steps = Trace.length trace;
-    messages;
-    assignment = State.assignment inst (Trace.final trace);
+    steps = r.Executor.steps;
+    messages = !messages;
+    assignment = State.assignment inst r.Executor.final;
   }
 
 let converges_in_all_models ?max_steps topo ~dest =

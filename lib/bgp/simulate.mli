@@ -8,6 +8,7 @@ type result = {
 }
 
 val run :
+  ?metrics:Engine.Metrics.t ->
   ?max_steps:int ->
   ?use_export_policy:bool ->
   Topology.t ->
@@ -16,8 +17,11 @@ val run :
   scheduler:(Spp.Instance.t -> Engine.Model.t -> Engine.Scheduler.t) ->
   result
 (** Compiles the topology under Gao–Rexford policies and runs the routing
-    algorithm.  [use_export_policy] (default true) applies the export rules
-    at announcement time as real BGP does. *)
+    algorithm on the streaming executor — memory stays O(network state)
+    however long the run, instead of O(trace).  [use_export_policy]
+    (default true) applies the export rules at announcement time as real
+    BGP does.  With [metrics], steps and messages are counted and the wall
+    time lands in the "executor" phase. *)
 
 val converges_in_all_models :
   ?max_steps:int -> Topology.t -> dest:Spp.Path.node -> bool

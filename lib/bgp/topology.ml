@@ -1,11 +1,18 @@
 type kind = Provider_customer | Peer_peer
 type relationship = Customer | Peer | Provider
 
+(* Adjacency is stored sparsely: per node, neighbor ids sorted ascending
+   with the parallel relationship view.  The seed's dense size x size
+   relationship matrix capped topologies at a few hundred ASes (10k nodes
+   would be 10^8 option cells); per-node arrays keep lookup O(log degree)
+   and memory O(V + E), which is what lets generate_scaled reach 10k-100k
+   nodes. *)
 type t = {
   size : int;
   names : string array;
   links : (int * int * kind) list;
-  rel : relationship option array array; (* rel.(u).(v): how u sees v *)
+  adj_ids : int array array; (* adj_ids.(v): neighbor ids, ascending *)
+  adj_rel : relationship array array; (* adj_rel.(v).(i): how v sees adj_ids.(v).(i) *)
 }
 
 let size t = t.size
@@ -13,12 +20,25 @@ let names t = t.names
 let name t v = t.names.(v)
 let edges t = t.links
 
-let relationship t ~of_ v = t.rel.(of_).(v)
+let relationship t ~of_ v =
+  let ids = t.adj_ids.(of_) in
+  let rec search lo hi =
+    if lo >= hi then None
+    else
+      let mid = (lo + hi) / 2 in
+      let u = ids.(mid) in
+      if u = v then Some t.adj_rel.(of_).(mid)
+      else if u < v then search (mid + 1) hi
+      else search lo mid
+  in
+  if of_ = v then None else search 0 (Array.length ids)
 
-let neighbors t v =
-  List.filter (fun u -> u <> v && t.rel.(v).(u) <> None) (List.init t.size Fun.id)
+let neighbors t v = Array.to_list t.adj_ids.(v)
+let degree t v = Array.length t.adj_ids.(v)
 
-(* Provider-customer links must form a DAG. *)
+(* Provider-customer links must form a DAG.  The DFS recursion depth is the
+   longest provider chain, which is the tier depth (3 for the generators);
+   hand-built topologies are small. *)
 let check_acyclic size links =
   let down = Array.make size [] in
   List.iter
@@ -26,38 +46,84 @@ let check_acyclic size links =
     links;
   let color = Array.make size 0 in
   let rec visit v =
-    if color.(v) = 1 then invalid_arg "Topology: provider-customer cycle";
-    if color.(v) = 0 then begin
-      color.(v) <- 1;
-      List.iter visit down.(v);
-      color.(v) <- 2
-    end
+    color.(v) <- 1;
+    List.iter
+      (fun c ->
+        if color.(c) = 1 then invalid_arg "Topology: provider-customer cycle";
+        if color.(c) = 0 then visit c)
+      down.(v);
+    color.(v) <- 2
   in
   for v = 0 to size - 1 do
-    visit v
+    if color.(v) = 0 then visit v
   done
 
 let make ~names ~links =
   let size = Array.length names in
   let check v = if v < 0 || v >= size then invalid_arg "Topology: node out of range" in
-  let rel = Array.make_matrix size size None in
+  let deg = Array.make size 0 in
+  let seen = Hashtbl.create (2 * List.length links) in
   List.iter
-    (fun (a, b, k) ->
+    (fun (a, b, _) ->
       check a;
       check b;
       if a = b then invalid_arg "Topology: self-link";
-      if rel.(a).(b) <> None then invalid_arg "Topology: duplicate link";
-      match k with
-      | Provider_customer ->
-        rel.(a).(b) <- Some Customer;
-        (* a sees b as its customer *)
-        rel.(b).(a) <- Some Provider
-      | Peer_peer ->
-        rel.(a).(b) <- Some Peer;
-        rel.(b).(a) <- Some Peer)
+      let key = if a < b then (a, b) else (b, a) in
+      if Hashtbl.mem seen key then invalid_arg "Topology: duplicate link";
+      Hashtbl.add seen key ();
+      deg.(a) <- deg.(a) + 1;
+      deg.(b) <- deg.(b) + 1)
     links;
   check_acyclic size links;
-  { size; names; links; rel }
+  let adj_ids = Array.init size (fun v -> Array.make deg.(v) 0) in
+  let adj_rel = Array.init size (fun v -> Array.make deg.(v) Peer) in
+  let fill = Array.make size 0 in
+  let add v u r =
+    adj_ids.(v).(fill.(v)) <- u;
+    adj_rel.(v).(fill.(v)) <- r;
+    fill.(v) <- fill.(v) + 1
+  in
+  List.iter
+    (fun (a, b, k) ->
+      match k with
+      | Provider_customer ->
+        add a b Customer;
+        (* a sees b as its customer *)
+        add b a Provider
+      | Peer_peer ->
+        add a b Peer;
+        add b a Peer)
+    links;
+  (* Sort each adjacency row by neighbor id, keeping the relationship
+     parallel. *)
+  for v = 0 to size - 1 do
+    let paired =
+      Array.init (Array.length adj_ids.(v)) (fun i -> (adj_ids.(v).(i), adj_rel.(v).(i)))
+    in
+    Array.sort (fun (a, _) (b, _) -> compare a b) paired;
+    Array.iteri
+      (fun i (u, r) ->
+        adj_ids.(v).(i) <- u;
+        adj_rel.(v).(i) <- r)
+      paired
+  done;
+  { size; names; links; adj_ids; adj_rel }
+
+let digest t =
+  let b = Buffer.create (16 * t.size) in
+  Array.iter
+    (fun n ->
+      Buffer.add_string b n;
+      Buffer.add_char b '\x00')
+    t.names;
+  List.iter
+    (fun (a, bnode, k) ->
+      Buffer.add_string b (string_of_int a);
+      Buffer.add_char b (match k with Provider_customer -> '>' | Peer_peer -> '-');
+      Buffer.add_string b (string_of_int bnode);
+      Buffer.add_char b '\x00')
+    t.links;
+  Digest.to_hex (Digest.string (Buffer.contents b))
 
 type config = { tier1 : int; tier2 : int; stubs : int; seed : int }
 
@@ -115,6 +181,106 @@ let generate cfg =
     end
   done;
   make ~names ~links:!links
+
+type scaled_config = {
+  s_tier1 : int;
+  s_tier2 : int;
+  s_stubs : int;
+  s_peer_links : int;
+  s_seed : int;
+}
+
+let default_scaled_config =
+  { s_tier1 = 10; s_tier2 = 490; s_stubs = 9_500; s_peer_links = 200; s_seed = 11 }
+
+(* The internet-scale generator.  Same three-tier Gao-Rexford shape as
+   [generate] but built for 10k-100k nodes:
+
+   - links accumulate in per-node buckets instead of one list scan, so
+     duplicate avoidance is O(1) per attempt;
+   - stub -> tier-2 attachment is preferential (Barabasi-Albert style urn:
+     one base ticket per provider plus one ticket per customer already
+     won), producing the power-law provider-degree distribution of the
+     measured AS graph rather than [generate]'s uniform one;
+   - tier-2 peering is a fixed budget of random mid-mid links, not the
+     O(tier2^2) coin-flip sweep.
+
+   Deterministic in [s_seed]. *)
+let generate_scaled cfg =
+  if cfg.s_tier1 < 1 || cfg.s_tier2 < 1 || cfg.s_stubs < 1 then
+    invalid_arg "Topology.generate_scaled: each tier needs at least one AS";
+  if cfg.s_peer_links < 0 then invalid_arg "Topology.generate_scaled: negative peer budget";
+  let rng = Random.State.make [| cfg.s_seed; 0x5ca1ed |] in
+  let n = cfg.s_tier1 + cfg.s_tier2 + cfg.s_stubs in
+  let names =
+    Array.init n (fun i ->
+        if i < cfg.s_tier1 then Printf.sprintf "T%d" (i + 1)
+        else if i < cfg.s_tier1 + cfg.s_tier2 then Printf.sprintf "M%d" (i - cfg.s_tier1 + 1)
+        else Printf.sprintf "S%d" (i - cfg.s_tier1 - cfg.s_tier2 + 1))
+  in
+  let links = ref [] in
+  let linked = Hashtbl.create (4 * n) in
+  let link a b k =
+    let key = if a < b then (a, b) else (b, a) in
+    if a <> b && not (Hashtbl.mem linked key) then begin
+      Hashtbl.add linked key ();
+      links := (a, b, k) :: !links;
+      true
+    end
+    else false
+  in
+  (* Tier-1: full peering mesh. *)
+  for a = 0 to cfg.s_tier1 - 1 do
+    for b = a + 1 to cfg.s_tier1 - 1 do
+      ignore (link a b Peer_peer)
+    done
+  done;
+  (* Tier-2: one or two tier-1 providers each, uniform. *)
+  let t2_lo = cfg.s_tier1 in
+  for m = t2_lo to t2_lo + cfg.s_tier2 - 1 do
+    let p1 = Random.State.int rng cfg.s_tier1 in
+    ignore (link p1 m Provider_customer);
+    if cfg.s_tier1 > 1 && Random.State.bool rng then begin
+      let p2 = (p1 + 1 + Random.State.int rng (cfg.s_tier1 - 1)) mod cfg.s_tier1 in
+      ignore (link p2 m Provider_customer)
+    end
+  done;
+  (* Tier-2 peering: a budget of random mid-mid links. *)
+  if cfg.s_tier2 > 1 then begin
+    let placed = ref 0 and attempts = ref 0 in
+    let budget = min cfg.s_peer_links (cfg.s_tier2 * (cfg.s_tier2 - 1) / 2) in
+    while !placed < budget && !attempts < 20 * budget do
+      incr attempts;
+      let a = t2_lo + Random.State.int rng cfg.s_tier2 in
+      let b = t2_lo + Random.State.int rng cfg.s_tier2 in
+      if link a b Peer_peer then incr placed
+    done
+  end;
+  (* Stubs: 1-2 tier-2 providers, preferential attachment.  The urn holds
+     one ticket per tier-2 AS plus one per stub it has already won, so the
+     provider-degree distribution follows a power law. *)
+  let urn = ref (Array.init cfg.s_tier2 (fun i -> t2_lo + i)) in
+  let urn_len = ref cfg.s_tier2 in
+  let urn_push p =
+    if !urn_len = Array.length !urn then begin
+      let bigger = Array.make (2 * !urn_len) 0 in
+      Array.blit !urn 0 bigger 0 !urn_len;
+      urn := bigger
+    end;
+    !urn.(!urn_len) <- p;
+    incr urn_len
+  in
+  let s_lo = t2_lo + cfg.s_tier2 in
+  for s = s_lo to n - 1 do
+    let p1 = !urn.(Random.State.int rng !urn_len) in
+    ignore (link p1 s Provider_customer);
+    urn_push p1;
+    if Random.State.int rng 3 = 0 then begin
+      let p2 = !urn.(Random.State.int rng !urn_len) in
+      if link p2 s Provider_customer then urn_push p2
+    end
+  done;
+  make ~names ~links:(List.rev !links)
 
 let pp ppf t =
   Fmt.pf ppf "@[<v>AS topology (%d ASes)@," t.size;

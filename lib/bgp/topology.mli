@@ -19,7 +19,16 @@ val make :
 val size : t -> int
 val names : t -> string array
 val name : t -> Spp.Path.node -> string
+
 val neighbors : t -> Spp.Path.node -> Spp.Path.node list
+(** Ascending neighbor ids. *)
+
+val degree : t -> Spp.Path.node -> int
+
+val digest : t -> string
+(** Hex digest of the names and the link list (order-sensitive), for
+    determinism goldens and bench artifacts.  Two topologies with equal
+    digests compile to identical instances. *)
 
 type relationship = Customer | Peer | Provider
 
@@ -40,5 +49,24 @@ val default_config : config
 
 val generate : config -> t
 (** A random three-tier hierarchy, deterministic in [seed]. *)
+
+type scaled_config = {
+  s_tier1 : int;  (** fully peered core *)
+  s_tier2 : int;  (** transit ASes: customers of 1-2 tier-1s *)
+  s_stubs : int;  (** stub ASes: customers of 1-2 tier-2s *)
+  s_peer_links : int;  (** budget of random tier-2/tier-2 peering links *)
+  s_seed : int;
+}
+
+val default_scaled_config : scaled_config
+(** A 10k-node hierarchy (10 core, 490 transit, 9500 stubs). *)
+
+val generate_scaled : scaled_config -> t
+(** The internet-scale generator: same Gao–Rexford three-tier shape as
+    {!generate}, but O(V + E) construction and {e preferential} stub
+    attachment (stubs pick providers with probability proportional to the
+    providers' current customer count), so tier-2 provider degrees follow
+    the power law of the measured AS graph.  Deterministic in [s_seed];
+    practical at 10k–100k nodes. *)
 
 val pp : Format.formatter -> t -> unit

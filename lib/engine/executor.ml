@@ -23,39 +23,55 @@ let record_outcome metrics (outcome : Step.outcome) =
     Metrics.incr_steps m;
     Metrics.add_messages m (List.length outcome.Step.pushed)
 
-let run_from ?export ?validate ?metrics ?(max_steps = 10_000) ~state inst
-    (sched : Scheduler.t) =
-  let init = state in
+type streamed = { final : State.t; stop : stop; steps : int }
+
+(* The one executor loop.  Nothing is retained across iterations except the
+   current state (and, for periodic schedules, the cycle-detection table),
+   so memory stays O(state) no matter how many steps run — the callers that
+   need a full trace accumulate it themselves through [on_step]. *)
+let run_streaming ?export ?validate ?metrics ?(max_steps = 10_000) ?state ?on_step
+    inst (sched : Scheduler.t) =
+  let init = match state with Some s -> s | None -> State.initial inst in
   (* Cycle detection: remember states per schedule phase. *)
   let seen : (int * State.t, int) Hashtbl.t = Hashtbl.create 97 in
-  let rec loop acc index state entries =
-    if index > max_steps then ({ trace = Trace.make inst init (List.rev acc); stop = Exhausted })
+  let rec loop index state entries =
+    if index > max_steps then { final = state; stop = Exhausted; steps = index - 1 }
     else
       match Seq.uncons entries with
-      | None -> { trace = Trace.make inst init (List.rev acc); stop = Exhausted }
+      | None -> { final = state; stop = Exhausted; steps = index - 1 }
       | Some (entry, rest) ->
         check_model inst validate entry;
         let outcome = Step.apply ?export inst state entry in
         record_outcome metrics outcome;
-        let record = { Trace.index; entry; outcome } in
-        let acc = record :: acc in
+        (match on_step with
+        | None -> ()
+        | Some f -> f { Trace.index; entry; outcome });
         let state' = outcome.Step.state in
-        let trace () = Trace.make inst init (List.rev acc) in
-        if State.is_quiescent inst state' then { trace = trace (); stop = Quiescent }
+        if State.is_quiescent inst state' then
+          { final = state'; stop = Quiescent; steps = index }
         else begin
           match sched.Scheduler.period with
           | Some p when p > 0 -> (
             let key = (index mod p, state') in
             match Hashtbl.find_opt seen key with
             | Some first ->
-              { trace = trace (); stop = Cycle { first; period = index - first } }
+              { final = state'; stop = Cycle { first; period = index - first }; steps = index }
             | None ->
               Hashtbl.add seen key index;
-              loop acc (index + 1) state' rest)
-          | _ -> loop acc (index + 1) state' rest
+              loop (index + 1) state' rest)
+          | _ -> loop (index + 1) state' rest
         end
   in
-  Metrics.timed ?m:metrics "executor" (fun () -> loop [] 1 init sched.Scheduler.entries)
+  Metrics.timed ?m:metrics "executor" (fun () -> loop 1 init sched.Scheduler.entries)
+
+let run_from ?export ?validate ?metrics ?max_steps ~state inst sched =
+  let acc = ref [] in
+  let r =
+    run_streaming ?export ?validate ?metrics ?max_steps ~state
+      ~on_step:(fun s -> acc := s :: !acc)
+      inst sched
+  in
+  { trace = Trace.make inst state (List.rev !acc); stop = r.stop }
 
 let run ?export ?validate ?metrics ?max_steps inst sched =
   run_from ?export ?validate ?metrics ?max_steps ~state:(State.initial inst) inst sched

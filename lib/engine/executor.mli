@@ -40,6 +40,29 @@ val run_from :
 (** Like {!run} but starting from an arbitrary state (e.g. a converged
     network after a topology or policy event). *)
 
+type streamed = { final : State.t; stop : stop; steps : int }
+(** [steps] is the number of activation entries applied. *)
+
+val run_streaming :
+  ?export:Step.export ->
+  ?validate:Model.t ->
+  ?metrics:Metrics.t ->
+  ?max_steps:int ->
+  ?state:State.t ->
+  ?on_step:(Trace.step -> unit) ->
+  Spp.Instance.t ->
+  Scheduler.t ->
+  streamed
+(** The loop of {!run} without trace retention: each applied step is handed
+    to [on_step] (if given) and then forgotten, so a run over millions of
+    steps uses memory proportional to one state rather than to the whole
+    execution.  [state] defaults to {!State.initial}.  Stop conditions,
+    model validation and metrics recording are identical to {!run} —
+    {!run_from} is implemented on this loop with an accumulating
+    [on_step].  (For periodic schedules the cycle-detection table still
+    retains one state per step, the price of sound divergence detection;
+    schedules with [period = None] detect no cycles and retain nothing.) *)
+
 val run_entries :
   ?export:Step.export ->
   ?validate:Model.t ->

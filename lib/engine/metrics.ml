@@ -53,6 +53,7 @@ let add_truncated t n = add t.truncated_interns n
 let add_ample t n = add t.ample_states n
 let add_canonicalized t n = add t.canonicalized n
 let incr_steps t = add t.steps 1
+let add_steps t n = add t.steps n
 let add_messages t n = add t.messages n
 let set_domains t n = Atomic.set t.domains n
 

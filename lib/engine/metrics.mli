@@ -35,10 +35,11 @@ val add_interned : t -> int -> unit
 val add_dedup : t -> int -> unit
 val add_pruned : t -> int -> unit
 val add_truncated : t -> int -> unit
+val add_steps : t -> int -> unit
 (** Bulk counterparts of the [incr_*] functions above: parallel-explorer
-    workers accumulate in domain-local buffers and merge them here once at
-    join, instead of hammering (and false-sharing) the shared atomics from
-    the hot path. *)
+    workers (and the sharded BGP simulator's per-shard workers) accumulate
+    in domain-local buffers and merge them here once at join, instead of
+    hammering (and false-sharing) the shared atomics from the hot path. *)
 
 val add_ample : t -> int -> unit
 (** States expanded with a proper ample subset of their enabled

@@ -1,0 +1,41 @@
+The partitioned-BGP scale bench: bad arguments are rejected with a
+one-line error (exit code 2, never an exception trace).
+
+  $ bgp_scale --budget enormous 2>&1 | head -1
+  bgp_scale: unknown budget "enormous"
+  $ bgp_scale --resume 2>&1 | head -1
+  bgp_scale: --resume needs --checkpoint
+  $ bgp_scale --shards 1 2>&1 | head -1
+  bgp_scale: --shards must be at least 2 (1-shard baseline is implicit)
+  $ bgp_scale --batch bogus 2>&1 | head -1
+  bgp_scale: --batch needs an integer
+  $ bgp_scale --compare-ignoring-timings just-one 2>/dev/null
+  [2]
+
+The smoke sweep is deterministic apart from wall times: topology shape,
+the in-process parity gate (every sampled (model, shards) run against the
+legacy engine), and the per-case epoch/activation/message/drop counts are
+locked here.  The speedup line depends on the machine and is filtered.
+
+  $ bgp_scale -o run.json --budget smoke --shards 2 --models RMS,U1O | grep -v speedup
+  bgp scale sweep (smoke budget, K=2, 1 workers):
+    scaled-small    444 nodes    637 links  cut=73    imbalance=1.39
+    parity: 72/72 (model, shards) runs match the legacy engine
+    scaled-small RMS  K=1  batch=4     epochs=230    acts=918      msgs=612      cross=0       drops=0     converged
+    scaled-small RMS  K=2  batch=4     epochs=161    acts=935      msgs=612      cross=66      drops=0     converged
+    scaled-small U1O  K=1  batch=1     epochs=918    acts=918      msgs=612      cross=0       drops=0     converged
+    scaled-small U1O  K=2  batch=1     epochs=641    acts=935      msgs=612      cross=66      drops=0     converged
+  wrote run.json
+
+  $ grep -o '"schema":"[^"]*"' run.json
+  "schema":"commrouting/bench_bgp/v1"
+
+Checkpointing journals finished cases; a resume replays them instead of
+re-running, and the artifacts agree modulo timings.
+
+  $ bgp_scale -o ck.json --budget smoke --shards 2 --models RMS --checkpoint j.bin > /dev/null
+  $ bgp_scale -o rs.json --budget smoke --shards 2 --models RMS --checkpoint j.bin --resume | tail -2
+  resumed 2 finished case(s) from the journal
+  wrote rs.json
+  $ bgp_scale --compare-ignoring-timings ck.json rs.json
+  ck.json and rs.json are identical modulo timings

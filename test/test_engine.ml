@@ -724,6 +724,52 @@ let test_trace_indices_sequential () =
     steps
 
 (* ------------------------------------------------------------------ *)
+(* Streaming executor: same loop as [run], no trace retention *)
+
+let stop_t = Alcotest.testable Executor.pp_stop ( = )
+
+let test_streaming_matches_run_quiescent () =
+  List.iter
+    (fun name ->
+      let m = model name in
+      let inst = Gadgets.disagree in
+      let r = Executor.run ~validate:m inst (Scheduler.round_robin inst m) in
+      let seen = ref [] in
+      let s =
+        Executor.run_streaming ~validate:m
+          ~on_step:(fun (st : Trace.step) -> seen := st.Trace.index :: !seen)
+          inst (Scheduler.round_robin inst m)
+      in
+      Alcotest.check stop_t (name ^ " stop") r.Executor.stop s.Executor.stop;
+      Alcotest.(check int) (name ^ " steps") (Trace.length r.Executor.trace)
+        s.Executor.steps;
+      Alcotest.(check bool) (name ^ " final state") true
+        (State.equal (Trace.final r.Executor.trace) s.Executor.final);
+      Alcotest.(check (list int)) (name ^ " on_step saw every step")
+        (List.map (fun (st : Trace.step) -> st.Trace.index) (Trace.steps r.Executor.trace))
+        (List.rev !seen))
+    [ "R1O"; "RMS"; "REA"; "UMS" ]
+
+let test_streaming_detects_cycle () =
+  let inst = Gadgets.disagree in
+  let sched () = Scheduler.prefixed (disagree_r1o_prefix inst) (disagree_r1o_cycle inst) in
+  let r = Executor.run ~validate:(model "R1O") ~max_steps:500 inst (sched ()) in
+  let s = Executor.run_streaming ~validate:(model "R1O") ~max_steps:500 inst (sched ()) in
+  (match r.Executor.stop with
+  | Executor.Cycle _ -> ()
+  | st -> Alcotest.failf "expected a cycle, got %a" Executor.pp_stop st);
+  Alcotest.check stop_t "same cycle" r.Executor.stop s.Executor.stop;
+  Alcotest.(check bool) "same final state" true
+    (State.equal (Trace.final r.Executor.trace) s.Executor.final)
+
+let test_streaming_max_steps () =
+  let inst = Gadgets.disagree in
+  let sched = Scheduler.round_robin inst (model "R1O") in
+  let s = Executor.run_streaming ~max_steps:2 inst sched in
+  Alcotest.check stop_t "exhausted" Executor.Exhausted s.Executor.stop;
+  Alcotest.(check int) "stopped at the limit" 2 s.Executor.steps
+
+(* ------------------------------------------------------------------ *)
 (* Worker pool *)
 
 let test_pool_runs_every_index () =
@@ -866,6 +912,13 @@ let () =
           Alcotest.test_case "unfair cycle detected" `Quick test_unfair_cycle_detected;
           Alcotest.test_case "empty cycle rejected" `Quick test_empty_cycle_rejected;
           Alcotest.test_case "trace indices are 1..n" `Quick test_trace_indices_sequential;
+        ] );
+      ( "streaming",
+        [
+          Alcotest.test_case "matches run on convergent schedules" `Quick
+            test_streaming_matches_run_quiescent;
+          Alcotest.test_case "detects the same cycles" `Quick test_streaming_detects_cycle;
+          Alcotest.test_case "max-steps exhaustion" `Quick test_streaming_max_steps;
         ] );
       ( "pool",
         [
