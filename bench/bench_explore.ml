@@ -4,4 +4,4 @@
    dune alias (with DEEP=0) and runnable by hand for the full Fig. 6
    R1A/RMA measurements. *)
 
-let () = Explore_bench.main ()
+let () = Explore_bench.run ()

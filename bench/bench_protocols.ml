@@ -1,1 +1,1 @@
-let () = Protocols_bench.main ()
+let () = Protocols_bench.run ()

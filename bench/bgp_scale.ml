@@ -38,6 +38,20 @@ module Journal = Conformance.Journal.Generic
 let schema = "commrouting/bench_bgp/v1"
 let journal_magic = "commrouting/bench_bgp_journal/v1"
 
+(* Every failure path raises a typed [failure]; the runner at the bottom
+   of the file is the only place exit codes are decided. *)
+type failure =
+  | Usage of string  (** bad command line: message + usage text, exit 2 *)
+  | Input of string  (** unreadable or foreign artifact: exit 2, no usage dump *)
+  | Gate of string option
+      (** a sweep invariant failed: exit 1.  [None] when the failing path
+          already printed its own diagnostics. *)
+
+exception Fail of failure
+
+let inputf fmt = Fmt.kstr (fun m -> raise (Fail (Input m))) fmt
+let gatef fmt = Fmt.kstr (fun m -> raise (Fail (Gate (Some m)))) fmt
+
 (* ------------------------------------------------------------------ *)
 (* Budgets. *)
 
@@ -108,11 +122,9 @@ let run_case ~workers ~seed ~batch ~repeat tag topo model shards =
     | None -> result := Some r
     | Some prev ->
       (* repeats must be bit-identical; anything else is a determinism bug *)
-      if Bgp.Shard.route_digest prev <> Bgp.Shard.route_digest r then begin
-        Printf.eprintf "bgp_scale: nondeterministic repeat on %s/%s/%d\n" tag
-          (Model.to_string model) shards;
-        exit 1
-      end
+      if Bgp.Shard.route_digest prev <> Bgp.Shard.route_digest r then
+        gatef "nondeterministic repeat on %s/%s/%d" tag (Model.to_string model)
+          shards
   done;
   let r = Option.get !result in
   {
@@ -465,32 +477,23 @@ let rec first_diff path a b =
 let compare_ignoring_timings path_a path_b =
   let parse p =
     match In_channel.with_open_bin p In_channel.input_all with
-    | exception Sys_error e ->
-      prerr_endline ("bgp_scale: " ^ e);
-      exit 2
+    | exception Sys_error e -> inputf "%s" e
     | text -> (
       match Json.parse text with
       | Ok v -> (
         match first_unknown_key "$" v with
         | Some where ->
-          Printf.eprintf
-            "bgp_scale: %s has a field this comparer does not know at %s; extend \
-             known_keys or volatile_keys before trusting the verdict\n"
-            p where;
-          exit 2
+          inputf
+            "%s has a field this comparer does not know at %s; extend \
+             known_keys or volatile_keys before trusting the verdict"
+            p where
         | None -> scrub v)
-      | Error e ->
-        Printf.eprintf "bgp_scale: %s does not parse: %s\n" p e;
-        exit 2)
+      | Error e -> inputf "%s does not parse: %s" p e)
   in
   let a = parse path_a and b = parse path_b in
   match first_diff "$" a b with
-  | None ->
-    Printf.printf "%s and %s are identical modulo timings\n" path_a path_b;
-    exit 0
-  | Some where ->
-    Printf.eprintf "bgp_scale: %s and %s differ at %s\n" path_a path_b where;
-    exit 1
+  | None -> Printf.printf "%s and %s are identical modulo timings\n" path_a path_b
+  | Some where -> gatef "%s and %s differ at %s" path_a path_b where
 
 (* ------------------------------------------------------------------ *)
 (* Gates. *)
@@ -566,10 +569,7 @@ let emit ~budget ~shard_k ~seed ~workers ~batch ~repeat ~models_filter ~checkpoi
         | models -> Some (tag, Bgp.Topology.generate_scaled cfg, models))
       (blocks budget)
   in
-  if built = [] then begin
-    prerr_endline "bgp_scale: --models filtered every case away";
-    exit 2
-  end;
+  if built = [] then inputf "--models filtered every case away";
   let journal =
     match checkpoint with
     | None -> None
@@ -660,9 +660,7 @@ let usage =
    \                   identical after blanking wall times and machine-\n\
    \                   dependent fields; unknown fields are an error\n"
 
-let bad msg =
-  Printf.eprintf "bgp_scale: %s\n%s" msg usage;
-  exit 2
+let bad msg = raise (Fail (Usage msg))
 
 let main () =
   let path = ref "BENCH_bgp.json" in
@@ -766,7 +764,7 @@ let main () =
     Fmt.pr "wrote %s@." !path;
     if failures <> [] then begin
       List.iter (fun f -> Printf.eprintf "bgp_scale: %s\n" f) failures;
-      exit 1
+      raise (Fail (Gate None))
     end;
     (match !min_speedup with
     | None -> ()
@@ -777,12 +775,22 @@ let main () =
           (Domain.recommended_domain_count ())
       else begin
         let g = geomean sp in
-        if g < thr then begin
-          Printf.eprintf "bgp_scale: geomean speedup %.2fx below the --min-speedup %.2fx gate\n" g
-            thr;
-          exit 1
-        end
+        if g < thr then
+          gatef "geomean speedup %.2fx below the --min-speedup %.2fx gate" g thr
         else Fmt.pr "speedup gate: %.2fx >= %.2fx@." g thr
       end)
 
-let () = main ()
+(* The only place exit codes are decided. *)
+let () =
+  match main () with
+  | () -> ()
+  | exception Fail (Usage m) ->
+    Printf.eprintf "bgp_scale: %s\n%s" m usage;
+    exit 2
+  | exception Fail (Input m) ->
+    Printf.eprintf "bgp_scale: %s\n" m;
+    exit 2
+  | exception Fail (Gate (Some m)) ->
+    Printf.eprintf "bgp_scale: %s\n" m;
+    exit 1
+  | exception Fail (Gate None) -> exit 1

@@ -1,7 +1,20 @@
 (* Differential conformance driver: fuzz the Fig. 3/4 realization matrices
    against the engine (see lib/conformance/), replay the committed corpus,
    or regenerate the committed sample entries.  Exit code 0 means no drift
-   was detected (skipped-as-inconclusive negatives do not fail the run). *)
+   was detected (skipped-as-inconclusive negatives do not fail the run).
+
+   Every failure path raises a typed [failure]; the runner at the bottom
+   of the file is the only place exit codes are decided. *)
+
+type failure =
+  | Usage of string  (** bad arguments or unreadable inputs: exit 2 *)
+  | Gate of string option
+      (** drift or replay failure: exit 1.  [None] when the failing path
+          already printed its own diagnostics. *)
+
+exception Fail of failure
+
+let usagef fmt = Fmt.kstr (fun m -> raise (Fail (Usage m))) fmt
 
 let ( / ) = Filename.concat
 
@@ -14,10 +27,7 @@ let replay_dir dir =
   let outcomes =
     List.map (fun f -> Conformance.replay_file (dir / f)) (json_files dir)
   in
-  if outcomes = [] then begin
-    Fmt.epr "conformance: no corpus entries in %s@." dir;
-    exit 2
-  end;
+  if outcomes = [] then usagef "no corpus entries in %s" dir;
   List.iter
     (fun (o : Conformance.Corpus.outcome) ->
       Fmt.pr "%s %s: %s@." (if o.ok then "ok  " else "FAIL") o.name o.detail)
@@ -25,7 +35,7 @@ let replay_dir dir =
   let failed = List.filter (fun (o : Conformance.Corpus.outcome) -> not o.ok) outcomes in
   Fmt.pr "replayed %d corpus entries, %d failed@." (List.length outcomes)
     (List.length failed);
-  exit (if failed = [] then 0 else 1)
+  if failed <> [] then raise (Fail (Gate None))
 
 (* The committed sample corpus: one positive trial per realization level
    (expectations recorded from the actual verdict, so a drifting engine
@@ -96,7 +106,7 @@ let write_samples dir =
       | _ -> ())
     (Conformance.Trial.negatives ())
 
-let () =
+let main () =
   let seeds = ref 5 in
   let budget = ref "default" in
   let domains = ref (Modelcheck.Explore.default_domains ()) in
@@ -170,18 +180,12 @@ let () =
     let budget =
       match Conformance.Fuzz.budget_of_string !budget with
       | Some b -> b
-      | None ->
-        Fmt.epr "conformance: unknown budget %S (smoke|default|deep)@." !budget;
-        exit 2
+      | None -> usagef "unknown budget %S (smoke|default|deep)" !budget
     in
-    if !resume && !checkpoint = "" then begin
-      Fmt.epr "conformance: --resume requires --checkpoint PATH@.";
-      exit 2
-    end;
-    if !checkpoint_every < 1 then begin
-      Fmt.epr "conformance: --checkpoint-every expects an int >= 1@.";
-      exit 2
-    end;
+    if !resume && !checkpoint = "" then
+      usagef "--resume requires --checkpoint PATH";
+    if !checkpoint_every < 1 then
+      usagef "--checkpoint-every expects an int >= 1";
     let cfg =
       {
         Conformance.Fuzz.seeds = !seeds;
@@ -197,5 +201,17 @@ let () =
     in
     let report = Conformance.Fuzz.run cfg in
     Fmt.pr "%a" Conformance.Fuzz.pp_report report;
-    exit (if Conformance.Fuzz.ok report then 0 else 1)
+    if not (Conformance.Fuzz.ok report) then raise (Fail (Gate None))
   end
+
+(* The only place exit codes are decided. *)
+let () =
+  match main () with
+  | () -> ()
+  | exception Fail (Usage m) ->
+    Fmt.epr "conformance: %s@." m;
+    exit 2
+  | exception Fail (Gate (Some m)) ->
+    Fmt.epr "conformance: %s@." m;
+    exit 1
+  | exception Fail (Gate None) -> exit 1

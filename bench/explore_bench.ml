@@ -21,6 +21,20 @@ let schema = "commrouting/bench_explore/v4"
    refactor. *)
 let repr = "arena"
 
+(* Every failure path raises a typed [failure]; the runner at the bottom
+   of the file is the only place exit codes are decided. *)
+type failure =
+  | Usage of string  (** bad command line: message + usage text, exit 2 *)
+  | Input of string  (** unreadable or foreign input: exit 2, no usage dump *)
+  | Gate of string option
+      (** a bench invariant failed: exit 1.  [None] when the failing path
+          already printed its own diagnostics. *)
+
+exception Fail of failure
+
+let inputf fmt = Fmt.kstr (fun m -> raise (Fail (Input m))) fmt
+let gatef fmt = Fmt.kstr (fun m -> raise (Fail (Gate (Some m)))) fmt
+
 (* Case-table model names are literals, but a typo must die with the list
    of valid names and exit code 2 — the CLI's bad-arguments convention —
    not a bare [Invalid_argument] out of [Option.get]. *)
@@ -28,9 +42,8 @@ let model s =
   match Model.of_string s with
   | Some m -> m
   | None ->
-    Printf.eprintf "bench_explore: unknown model name %S (expected one of %s)\n" s
-      (String.concat ", " (List.map Model.to_string Model.all));
-    exit 2
+    inputf "unknown model name %S (expected one of %s)" s
+      (String.concat ", " (List.map Model.to_string Model.all))
 
 type case = {
   instance_name : string;
@@ -104,8 +117,7 @@ let run_one ?ckpt ?frontier ~reduction c ~domains ~spill ~repeat =
                (truncation cannot happen — writes are atomic — so this is
                bit-rot or a foreign file); resuming from scratch would
                silently hide it. *)
-            prerr_endline ("bench_explore: " ^ Snapshot.error_to_string e);
-            exit 2
+            inputf "%s" (Snapshot.error_to_string e)
         else None
       in
       (Some { Modelcheck.Explore.path; every }, snap)
@@ -471,32 +483,23 @@ let rec first_diff path a b =
 let compare_ignoring_timings path_a path_b =
   let parse p =
     match In_channel.with_open_bin p In_channel.input_all with
-    | exception Sys_error e ->
-      prerr_endline ("bench_explore: " ^ e);
-      exit 2
+    | exception Sys_error e -> inputf "%s" e
     | text -> (
       match Json.parse text with
       | Ok v -> (
         match first_unknown_key "$" v with
         | Some where ->
-          Printf.eprintf
-            "bench_explore: %s has a field this comparer does not know at %s; \
-             extend known_keys or volatile_keys before trusting the verdict\n"
-            p where;
-          exit 2
+          inputf
+            "%s has a field this comparer does not know at %s; \
+             extend known_keys or volatile_keys before trusting the verdict"
+            p where
         | None -> scrub v)
-      | Error e ->
-        Printf.eprintf "bench_explore: %s does not parse: %s\n" p e;
-        exit 2)
+      | Error e -> inputf "%s does not parse: %s" p e)
   in
   let a = parse path_a and b = parse path_b in
   match first_diff "$" a b with
-  | None ->
-    Printf.printf "%s and %s are identical modulo timings\n" path_a path_b;
-    exit 0
-  | Some where ->
-    Printf.eprintf "bench_explore: %s and %s differ at %s\n" path_a path_b where;
-    exit 1
+  | None -> Printf.printf "%s and %s are identical modulo timings\n" path_a path_b
+  | Some where -> gatef "%s and %s differ at %s" path_a path_b where
 
 (* ------------------------------------------------------------------ *)
 (* Reduction-parity gate: a reduced suite must reproduce the verdicts of a
@@ -727,11 +730,7 @@ let main () =
   let frontier_chunk = ref 4096 in
   (* DEEP env sets the default; --deep/--fast flags override. *)
   let deep = ref (deep_env ()) in
-  let bad msg =
-    prerr_endline ("bench_explore: " ^ msg);
-    prerr_string usage;
-    exit 2
-  in
+  let bad msg = raise (Fail (Usage msg)) in
   let rec parse_args = function
     | [] -> ()
     | "-o" :: p :: rest ->
@@ -860,4 +859,20 @@ let main () =
   | [] -> ()
   | fs ->
     List.iter (fun f -> Printf.eprintf "FAIL: %s\n" f) fs;
+    raise (Fail (Gate None))
+
+(* The only place exit codes are decided. *)
+let run () =
+  match main () with
+  | () -> ()
+  | exception Fail (Usage m) ->
+    prerr_endline ("bench_explore: " ^ m);
+    prerr_string usage;
+    exit 2
+  | exception Fail (Input m) ->
+    prerr_endline ("bench_explore: " ^ m);
+    exit 2
+  | exception Fail (Gate (Some m)) ->
+    prerr_endline ("bench_explore: " ^ m);
     exit 1
+  | exception Fail (Gate None) -> exit 1

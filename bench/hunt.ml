@@ -2,17 +2,29 @@
    and policies, statically prefilter, hunt survivors for model-dependent
    oscillations, shrink findings and emit them to a corpus directory; or
    replay a committed corpus.  Exit code 0 means the run completed and
-   every requested gate held; 1 a gate or replay failed; 2 usage error. *)
+   every requested gate held; 1 a gate or replay failed; 2 usage error.
+
+   Every failure path raises a typed [failure]; the runner at the bottom
+   of the file is the only place exit codes are decided. *)
 
 module Json = Engine.Metrics.Json
+
+type failure =
+  | Usage of string  (** bad arguments or unreadable inputs: exit 2 *)
+  | Gate of string option
+      (** a requested gate failed: exit 1.  [None] when the failing path
+          already printed its own diagnostics (replay summaries). *)
+
+exception Fail of failure
+
+let usagef fmt = Fmt.kstr (fun m -> raise (Fail (Usage m))) fmt
+let gatef fmt = Fmt.kstr (fun m -> raise (Fail (Gate (Some m)))) fmt
 
 let ( / ) = Filename.concat
 
 let json_files dir =
   match Sys.readdir dir with
-  | exception Sys_error e ->
-    Fmt.epr "hunt: cannot read %s: %s@." dir e;
-    exit 2
+  | exception Sys_error e -> usagef "cannot read %s: %s" dir e
   | files ->
     Array.to_list files
     |> List.filter (fun f -> Filename.check_suffix f ".json")
@@ -20,10 +32,7 @@ let json_files dir =
 
 let replay_dir dir =
   let outcomes = List.map (fun f -> Hunt.replay_file (dir / f)) (json_files dir) in
-  if outcomes = [] then begin
-    Fmt.epr "hunt: no corpus entries in %s@." dir;
-    exit 2
-  end;
+  if outcomes = [] then usagef "no corpus entries in %s" dir;
   List.iter
     (fun (o : Hunt.Corpus.outcome) ->
       Fmt.pr "%s %s: %s@." (if o.ok then "ok  " else "FAIL") o.name o.detail)
@@ -31,7 +40,7 @@ let replay_dir dir =
   let failed = List.filter (fun (o : Hunt.Corpus.outcome) -> not o.ok) outcomes in
   Fmt.pr "replayed %d corpus entries, %d failed@." (List.length outcomes)
     (List.length failed);
-  exit (if failed = [] then 0 else 1)
+  if failed <> [] then raise (Fail (Gate None))
 
 (* ------------------------------------------------------------------ *)
 (* Artifact: schema commrouting/hunt_run/v1.  Everything except wall_s
@@ -123,27 +132,17 @@ let rec scrub = function
 let compare_ignoring_timings a b =
   let load path =
     match In_channel.with_open_bin path In_channel.input_all with
-    | exception Sys_error e ->
-      Fmt.epr "hunt: cannot read %s: %s@." path e;
-      exit 2
+    | exception Sys_error e -> usagef "cannot read %s: %s" path e
     | contents -> (
       match Json.parse (String.trim contents) with
       | Ok j -> j
-      | Error e ->
-        Fmt.epr "hunt: %s: %s@." path e;
-        exit 2)
+      | Error e -> usagef "%s: %s" path e)
   in
   let ja = scrub (load a) and jb = scrub (load b) in
-  if ja = jb then begin
-    Fmt.pr "artifacts agree (ignoring timings)@.";
-    exit 0
-  end
-  else begin
-    Fmt.epr "hunt: %s and %s disagree beyond timings@." a b;
-    exit 1
-  end
+  if ja = jb then Fmt.pr "artifacts agree (ignoring timings)@."
+  else gatef "%s and %s disagree beyond timings" a b
 
-let () =
+let main () =
   let seeds = ref 5 in
   let budget = ref "smoke" in
   let domains = ref (Modelcheck.Explore.default_domains ()) in
@@ -212,32 +211,20 @@ let () =
   Arg.parse spec
     (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
     "hunt [options]";
-  (match List.rev !compare_args with
+  match List.rev !compare_args with
   | [ a; b ] -> compare_ignoring_timings a b
-  | [] -> ()
-  | _ ->
-    Fmt.epr "hunt: --compare-ignoring-timings expects exactly two paths@.";
-    exit 2);
-  if !replay <> "" then replay_dir !replay;
+  | _ :: _ -> usagef "--compare-ignoring-timings expects exactly two paths"
+  | [] ->
+  if !replay <> "" then replay_dir !replay
+  else
   let budget =
     match Hunt.Search.budget_of_string !budget with
     | Some b -> b
-    | None ->
-      Fmt.epr "hunt: unknown budget %S (smoke|default|deep)@." !budget;
-      exit 2
+    | None -> usagef "unknown budget %S (smoke|default|deep)" !budget
   in
-  if !resume && !checkpoint = "" then begin
-    Fmt.epr "hunt: --resume requires --checkpoint PATH@.";
-    exit 2
-  end;
-  if !checkpoint_every < 1 then begin
-    Fmt.epr "hunt: --checkpoint-every expects an int >= 1@.";
-    exit 2
-  end;
-  if !seeds < 1 then begin
-    Fmt.epr "hunt: --seeds expects an int >= 1@.";
-    exit 2
-  end;
+  if !resume && !checkpoint = "" then usagef "--resume requires --checkpoint PATH";
+  if !checkpoint_every < 1 then usagef "--checkpoint-every expects an int >= 1";
+  if !seeds < 1 then usagef "--seeds expects an int >= 1";
   let cfg =
     {
       Hunt.Search.seeds = !seeds;
@@ -261,14 +248,20 @@ let () =
   end;
   let nfindings = List.length (Hunt.Search.findings report) in
   let ratio = Hunt.Search.skip_ratio report in
-  if nfindings < !min_findings then begin
-    Fmt.epr "hunt: only %d finding(s), --min-findings %d@." nfindings
-      !min_findings;
+  if nfindings < !min_findings then
+    gatef "only %d finding(s), --min-findings %d" nfindings !min_findings;
+  if ratio < !min_skip_ratio then
+    gatef "static skip ratio %.2f below --min-skip-ratio %.2f" ratio
+      !min_skip_ratio
+
+(* The only place exit codes are decided. *)
+let () =
+  match main () with
+  | () -> ()
+  | exception Fail (Usage m) ->
+    Fmt.epr "hunt: %s@." m;
+    exit 2
+  | exception Fail (Gate (Some m)) ->
+    Fmt.epr "hunt: %s@." m;
     exit 1
-  end;
-  if ratio < !min_skip_ratio then begin
-    Fmt.epr "hunt: static skip ratio %.2f below --min-skip-ratio %.2f@." ratio
-      !min_skip_ratio;
-    exit 1
-  end;
-  exit 0
+  | exception Fail (Gate None) -> exit 1

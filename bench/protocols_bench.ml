@@ -22,6 +22,21 @@
 
 open Engine
 module Json = Metrics.Json
+
+(* Every failure path raises a typed [failure]; the runner at the bottom
+   of the file is the only place exit codes are decided. *)
+type failure =
+  | Usage of string  (** bad command line: message + usage text, exit 2 *)
+  | Input of string  (** unreadable or foreign artifact: exit 2, no usage dump *)
+  | Gate of string option
+      (** a sweep invariant failed: exit 1.  [None] when the failing path
+          already printed its own diagnostics. *)
+
+exception Fail of failure
+
+let inputf fmt = Fmt.kstr (fun m -> raise (Fail (Input m))) fmt
+let gatef fmt = Fmt.kstr (fun m -> raise (Fail (Gate (Some m)))) fmt
+
 module EG = Generic.Make (Protocols.Gossip)
 module EPS = Generic.Make (Protocols.Pushsum)
 module GX = Modelcheck.Gexplore.Make (Protocols.Gossip)
@@ -461,32 +476,23 @@ let rec first_diff path a b =
 let compare_ignoring_timings path_a path_b =
   let parse p =
     match In_channel.with_open_bin p In_channel.input_all with
-    | exception Sys_error e ->
-      prerr_endline ("bench_protocols: " ^ e);
-      exit 2
+    | exception Sys_error e -> inputf "%s" e
     | text -> (
       match Json.parse text with
       | Ok v -> (
         match first_unknown_key "$" v with
         | Some where ->
-          Printf.eprintf
-            "bench_protocols: %s has a field this comparer does not know at %s; \
-             extend known_keys or volatile_keys before trusting the verdict\n"
-            p where;
-          exit 2
+          inputf
+            "%s has a field this comparer does not know at %s; \
+             extend known_keys or volatile_keys before trusting the verdict"
+            p where
         | None -> scrub v)
-      | Error e ->
-        Printf.eprintf "bench_protocols: %s does not parse: %s\n" p e;
-        exit 2)
+      | Error e -> inputf "%s does not parse: %s" p e)
   in
   let a = parse path_a and b = parse path_b in
   match first_diff "$" a b with
-  | None ->
-    Printf.printf "%s and %s are identical modulo timings\n" path_a path_b;
-    exit 0
-  | Some where ->
-    Printf.eprintf "bench_protocols: %s and %s differ at %s\n" path_a path_b where;
-    exit 1
+  | None -> Printf.printf "%s and %s are identical modulo timings\n" path_a path_b
+  | Some where -> gatef "%s and %s differ at %s" path_a path_b where
 
 (* ------------------------------------------------------------------ *)
 (* Semantic gates: beyond diffing against the committed artifact, the
@@ -575,9 +581,7 @@ let usage =
    \                   identical after blanking wall times; unknown fields\n\
    \                   are an error\n"
 
-let bad msg =
-  Printf.eprintf "bench_protocols: %s\n%s" msg usage;
-  exit 2
+let bad msg = raise (Fail (Usage msg))
 
 let main () =
   let path = ref "BENCH_protocols.json" in
@@ -611,5 +615,20 @@ let main () =
     Fmt.pr "wrote %s@." !path;
     if failures <> [] then begin
       List.iter (fun f -> Printf.eprintf "bench_protocols: %s\n" f) failures;
-      exit 1
+      raise (Fail (Gate None))
     end
+
+(* The only place exit codes are decided. *)
+let run () =
+  match main () with
+  | () -> ()
+  | exception Fail (Usage m) ->
+    Printf.eprintf "bench_protocols: %s\n%s" m usage;
+    exit 2
+  | exception Fail (Input m) ->
+    Printf.eprintf "bench_protocols: %s\n" m;
+    exit 2
+  | exception Fail (Gate (Some m)) ->
+    Printf.eprintf "bench_protocols: %s\n" m;
+    exit 1
+  | exception Fail (Gate None) -> exit 1

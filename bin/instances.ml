@@ -1,36 +1,25 @@
-(* Shared instance selection for the command-line tools. *)
-
-let catalogue () =
-  Spp.Gadgets.all_named ()
-  @ [ ("SHORTEST-PATHS", Spp.Gadgets.shortest_paths ~n:5) ]
+(* Shared instance selection for the command-line tools: a thin adapter
+   over Service.Resolve (the daemon uses the same resolver, so CLI and
+   daemon agree on what every spec means) presenting Cmdliner's
+   conventional [`Msg] error. *)
 
 let find name =
-  let up = String.uppercase_ascii name in
-  match List.assoc_opt up (catalogue ()) with
-  | Some inst -> Ok inst
-  | None -> (
-    (* bgp:<seed> and random:<seed> are generated families. *)
-    match String.split_on_char ':' (String.lowercase_ascii name) with
-    | [ "bgp"; seed ] -> (
-      match int_of_string_opt seed with
-      | Some seed ->
-        let topo = Bgp.Topology.generate { Bgp.Topology.default_config with seed } in
-        Ok (Bgp.Policy.compile topo ~dest:(Bgp.Topology.size topo - 1))
-      | None -> Error (`Msg "bgp:<seed> expects an integer seed"))
-    | [ "random"; seed ] -> (
-      match int_of_string_opt seed with
-      | Some seed -> Ok (Spp.Generator.instance { Spp.Generator.default with seed })
-      | None -> Error (`Msg "random:<seed> expects an integer seed"))
-    | "file" :: rest -> (
-      match Spp.Dsl.parse_file (String.concat ":" rest) with
-      | Ok inst -> Ok inst
-      | Error e -> Error (`Msg e))
-    | _ ->
-      Error
-        (`Msg
-          (Printf.sprintf
-             "unknown instance %S (try %s, bgp:<seed>, random:<seed> or file:<path>)" name
-             (String.concat ", " (List.map fst (catalogue ()))))))
+  match Service.Resolve.find name with
+  | Ok inst -> Ok inst
+  | Error e -> Error (`Msg (Service.Error.to_string e))
 
-let names () =
-  List.map fst (catalogue ()) @ [ "bgp:<seed>"; "random:<seed>"; "file:<path>" ]
+let names () = Service.Resolve.names ()
+
+(* Model names share the resolver's conventions: case-insensitive, typed
+   error on junk. *)
+let models names =
+  List.fold_left
+    (fun acc n ->
+      match acc with
+      | Error _ as e -> e
+      | Ok ms -> (
+        match Engine.Model.of_string (String.uppercase_ascii n) with
+        | Some m -> Ok (m :: ms)
+        | None -> Error (`Msg (Printf.sprintf "unknown model %S" n))))
+    (Ok []) names
+  |> Result.map List.rev

@@ -6,20 +6,18 @@ open Engine
 open Cmdliner
 
 let check instance_name model_names bound max_states verify domains show_metrics =
-  match Instances.find instance_name with
-  | Error (`Msg m) -> `Error (false, m)
-  | Ok inst ->
-    let models =
+  match
+    let ( let* ) = Result.bind in
+    let* inst = Instances.find instance_name in
+    let* models =
       match model_names with
-      | [] -> Model.all
-      | names ->
-        List.map
-          (fun n ->
-            match Model.of_string (String.uppercase_ascii n) with
-            | Some m -> m
-            | None -> failwith (Printf.sprintf "unknown model %S" n))
-          names
+      | [] -> Ok Model.all
+      | names -> Instances.models names
     in
+    Ok (inst, models)
+  with
+  | Error (`Msg m) -> `Error (false, m)
+  | Ok (inst, models) ->
     let config = { Modelcheck.Explore.channel_bound = bound; max_states } in
     List.iter
       (fun m ->

@@ -11,19 +11,20 @@ let run_sim instance_name model_name scheduler_name seed max_steps quiet save lo
   | Ok inst -> (
     match Model.of_string (String.uppercase_ascii model_name) with
     | None -> `Error (false, Printf.sprintf "unknown model %S (e.g. R1O, RMS, REA)" model_name)
-    | Some model ->
-      let sched =
+    | Some model -> (
+      match
         match load with
-        | Some path -> (
-          match Replay.load inst ~path with
-          | Ok entries -> Scheduler.of_entries entries
-          | Error e -> failwith e)
+        | Some path ->
+          Result.map Scheduler.of_entries (Replay.load inst ~path)
         | None -> (
           match scheduler_name with
-          | "rr" | "round-robin" -> Scheduler.round_robin inst model
-          | "random" -> Scheduler.random inst model ~seed
-          | other -> failwith (Printf.sprintf "unknown scheduler %S (rr or random)" other))
-      in
+          | "rr" | "round-robin" -> Ok (Scheduler.round_robin inst model)
+          | "random" -> Ok (Scheduler.random inst model ~seed)
+          | other ->
+            Error (Printf.sprintf "unknown scheduler %S (rr or random)" other))
+      with
+      | Error m -> `Error (false, m)
+      | Ok sched ->
       let validate = if load = None then Some model else None in
       let r = Executor.run ?validate ~max_steps inst sched in
       (match save with
@@ -44,7 +45,7 @@ let run_sim instance_name model_name scheduler_name seed max_steps quiet save lo
       Format.printf "final assignment: %a (stable solution: %b)@."
         (Spp.Assignment.pp inst) final
         (Spp.Assignment.is_solution inst final);
-      `Ok ())
+      `Ok ()))
 
 let instance_arg =
   let doc =

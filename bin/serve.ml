@@ -1,0 +1,178 @@
+(* serve: the persistent query daemon and its client-side plumbing.
+
+   `serve daemon` runs the event loop in the foreground (background it
+   from the shell); `serve request` sends one protocol line and prints
+   the response — streaming job events as they arrive — and `serve stop`
+   asks a running daemon to shut down.  Every error path is a typed
+   Service.Error.t; the only place errors become exit codes is
+   [eval_result] below. *)
+
+module Json = Engine.Metrics.Json
+open Cmdliner
+
+let socket_arg =
+  let doc =
+    "Unix-domain socket path (keep it short: the kernel caps socket paths \
+     at ~108 bytes, so prefer /tmp)."
+  in
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "s"; "socket" ] ~docv:"PATH" ~doc)
+
+(* ------------------------------------------------------------------ *)
+(* daemon *)
+
+let daemon socket store_dir max_entries workers =
+  Result.map
+    (fun () -> 0)
+    (Service.Server.run
+       {
+         Service.Server.socket;
+         store = { Service.Store.dir = store_dir; max_entries };
+         workers;
+       })
+
+let daemon_cmd =
+  let store_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "store" ] ~docv:"DIR" ~doc:"On-disk result store directory.")
+  in
+  let max_entries_arg =
+    Arg.(
+      value
+      & opt int Service.Store.default_max_entries
+      & info [ "max-entries" ] ~docv:"N"
+          ~doc:"LRU cap on store entries (0 disables the cap).")
+  in
+  let workers_arg =
+    Arg.(
+      value
+      & opt int 4
+      & info [ "workers" ] ~docv:"N"
+          ~doc:"Pool workers batched compute requests may use.")
+  in
+  let doc = "run the query daemon in the foreground" in
+  Cmd.v
+    (Cmd.info "daemon" ~doc)
+    Term.(const daemon $ socket_arg $ store_arg $ max_entries_arg $ workers_arg)
+
+(* ------------------------------------------------------------------ *)
+(* request / stop *)
+
+let connect_with_retry ~socket ~wait =
+  let deadline = Unix.gettimeofday () +. wait in
+  let rec go () =
+    match Service.Client.connect ~socket with
+    | Ok c -> Ok c
+    | Error e ->
+      if Unix.gettimeofday () < deadline then begin
+        ignore (Unix.select [] [] [] 0.05);
+        go ()
+      end
+      else Error e
+  in
+  go ()
+
+let wait_arg =
+  Arg.(
+    value
+    & opt float 0.
+    & info [ "wait" ] ~docv:"SECONDS"
+        ~doc:"Retry the connection for up to $(docv) (for daemon startup).")
+
+(* The response's exit code: protocol errors inherit the service
+   convention (usage = 2) so scripts can distinguish bad requests. *)
+let code_of_response j =
+  match Json.member "ok" j with
+  | Some (Json.Bool true) -> 0
+  | _ -> (
+    match Json.member "error" j with
+    | Some e when Json.member "kind" e = Some (Json.Str "usage") -> 2
+    | _ -> 1)
+
+let request socket wait follow line =
+  match Service.Protocol.of_line line with
+  | Error (_, e) -> Error e
+  | Ok env -> (
+    let ( let* ) = Result.bind in
+    let* c = connect_with_retry ~socket ~wait in
+    let print_json j = print_string (Json.to_string j ^ "\n") in
+    let* resp = Service.Client.request ~on_event:print_json c env in
+    print_json resp;
+    let is_running_job =
+      match Json.member "result" resp with
+      | Some r -> Json.member "state" r = Some (Json.Str "running")
+      | None -> false
+    in
+    let* () =
+      (* With --follow, block on the started job's event stream until it
+         finishes (or fails) — the CLI analogue of watching progress. *)
+      if follow && is_running_job && code_of_response resp = 0 then
+        let rec drain () =
+          let* ev = Service.Client.wait_event c in
+          print_json ev;
+          match Json.member "event" ev with
+          | Some (Json.Str ("done" | "failed")) -> Ok ()
+          | _ -> drain ()
+        in
+        drain ()
+      else Ok ()
+    in
+    Service.Client.close c;
+    Ok (code_of_response resp))
+
+let request_cmd =
+  let line_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"JSON"
+          ~doc:
+            "One protocol request line, e.g. \
+             '{\"method\":\"check\",\"params\":{\"instance\":\"DISAGREE\",\"model\":\"R1O\"}}'.")
+  in
+  let follow_arg =
+    Arg.(
+      value & flag
+      & info [ "follow" ]
+          ~doc:"After a job_start/job_resume response, stream the job's \
+                progress events until it completes.")
+  in
+  let doc = "send one request to a running daemon and print the response" in
+  Cmd.v
+    (Cmd.info "request" ~doc)
+    Term.(const request $ socket_arg $ wait_arg $ follow_arg $ line_arg)
+
+let stop socket wait =
+  let ( let* ) = Result.bind in
+  let* c = connect_with_retry ~socket ~wait in
+  let env = { Service.Protocol.id = Json.Null; req = Service.Protocol.Shutdown } in
+  let* resp = Service.Client.request c env in
+  Service.Client.close c;
+  print_string (Json.to_string resp ^ "\n");
+  Ok (code_of_response resp)
+
+let stop_cmd =
+  let doc = "ask a running daemon to shut down" in
+  Cmd.v (Cmd.info "stop" ~doc) Term.(const stop $ socket_arg $ wait_arg)
+
+(* ------------------------------------------------------------------ *)
+
+let main_cmd =
+  let doc = "persistent query daemon for the commrouting reproduction" in
+  let info = Cmd.info "serve" ~doc in
+  Cmd.group info [ daemon_cmd; request_cmd; stop_cmd ]
+
+(* The single place service errors become exit codes. *)
+let () =
+  match Cmd.eval_value main_cmd with
+  | Error (`Parse | `Term) -> exit 2
+  | Error `Exn -> exit 1
+  | Ok (`Help | `Version) -> exit 0
+  | Ok (`Ok (Ok code)) -> exit code
+  | Ok (`Ok (Error e)) ->
+    Fmt.epr "serve: %a@." Service.Error.pp e;
+    exit (Service.Error.exit_code e)

@@ -1,25 +1,21 @@
 (* spp_report: a one-stop analysis of an SPP instance — structure,
    solvability, dispute wheels, and per-model convergence verdicts. *)
 
-open Engine
 open Cmdliner
 
 let run instance_name model_names bound =
-  match Instances.find instance_name with
-  | Error (`Msg m) -> `Error (false, m)
-  | Ok inst ->
-    let models =
+  match
+    let ( let* ) = Result.bind in
+    let* inst = Instances.find instance_name in
+    let* models =
       match model_names with
-      | [] -> None
-      | names ->
-        Some
-          (List.map
-             (fun n ->
-               match Model.of_string (String.uppercase_ascii n) with
-               | Some m -> m
-               | None -> failwith (Printf.sprintf "unknown model %S" n))
-             names)
+      | [] -> Ok None
+      | names -> Result.map Option.some (Instances.models names)
     in
+    Ok (inst, models)
+  with
+  | Error (`Msg m) -> `Error (false, m)
+  | Ok (inst, models) ->
     let config = { Modelcheck.Explore.default_config with Modelcheck.Explore.channel_bound = bound } in
     Format.printf "%a@.@." Spp.Instance.pp inst;
     let report = Modelcheck.Report.analyze ?models ~config inst in

@@ -29,16 +29,33 @@ let error_to_string = function
 let pp_error ppf e = Fmt.string ppf (error_to_string e)
 
 (* ------------------------------------------------------------------ *)
-(* Atomic writes.  The temp file lives next to the target (same
-   filesystem, so the rename is atomic) and carries the pid, so two
-   processes checkpointing to the same path never clobber each other's
-   partial writes. *)
+(* Atomic, durable writes.  The temp file lives next to the target (same
+   filesystem, so the rename is atomic) and its name carries the pid, the
+   domain id and a process-wide counter: the pid alone is not unique when
+   two domains of one process checkpoint to the same path concurrently,
+   and a collision would interleave their partial writes.  Durability:
+   the temp file is fsynced before the rename and the containing
+   directory after it, so once [write_atomic] returns, a crash or power
+   cut can no longer roll the rename back or surface an empty file where
+   the old contents were. *)
+
+let tmp_seq = Atomic.make 0
 
 let write_atomic path contents =
-  let tmp = Printf.sprintf "%s.tmp.%d" path (Unix.getpid ()) in
+  let tmp =
+    Printf.sprintf "%s.tmp.%d.%d.%d" path (Unix.getpid ())
+      (Domain.self () :> int)
+      (Atomic.fetch_and_add tmp_seq 1)
+  in
+  let sys_error fn e =
+    Sys_error (Printf.sprintf "%s: %s: %s" tmp fn (Unix.error_message e))
+  in
   let oc = open_out_bin tmp in
   (match
      output_string oc contents;
+     flush oc;
+     (try Unix.fsync (Unix.descr_of_out_channel oc)
+      with Unix.Unix_error (e, _, _) -> raise (sys_error "fsync" e));
      close_out oc
    with
   | () -> ()
@@ -47,7 +64,15 @@ let write_atomic path contents =
     (try Sys.remove tmp with Sys_error _ -> ());
     raise e);
   match Sys.rename tmp path with
-  | () -> ()
+  | () ->
+    (* Directory fsync is best effort: without it the rename itself may
+       not be durable, but some filesystems refuse fsync on directories
+       and the data is already safe on disk either way. *)
+    (match Unix.openfile (Filename.dirname path) [ Unix.O_RDONLY ] 0 with
+    | fd ->
+      (try Unix.fsync fd with Unix.Unix_error _ -> ());
+      Unix.close fd
+    | exception Unix.Unix_error _ -> ())
   | exception e ->
     (try Sys.remove tmp with Sys_error _ -> ());
     raise e

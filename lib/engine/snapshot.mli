@@ -55,11 +55,29 @@ val error_to_string : error -> string
 val pp_error : Format.formatter -> error -> unit
 
 val write_atomic : string -> string -> unit
-(** [write_atomic path contents] writes [contents] to [path ^ ".tmp.<pid>"]
-    and renames it over [path], so concurrent readers (and any crash
-    mid-write) see either the old complete file or the new complete file,
-    never a prefix.  Raises [Sys_error] on I/O failure (the temp file is
-    removed). *)
+(** [write_atomic path contents] writes [contents] to
+    [path ^ ".tmp.<pid>.<domain>.<seq>"], fsyncs it, renames it over
+    [path], then fsyncs the containing directory (best effort), so
+    concurrent readers (and any crash mid-write, or a power cut right
+    after the call) see either the old complete file or the new complete
+    file, never a prefix and never a hole.  The temp name is unique per
+    writer — pid {e and} domain id {e and} a process-wide counter — so
+    two domains of one process writing the same path cannot clobber each
+    other's partial writes.  Raises [Sys_error] on I/O failure (the temp
+    file is removed). *)
+
+val framed : magic:string -> string -> string
+(** [framed ~magic payload] is the checksummed on-disk framing every
+    snapshot-format artifact uses: one header line
+    [<magic> <md5-hex> <payload-bytes>] followed by the payload verbatim.
+    {!read_framed} is its total inverse. *)
+
+val read_framed : magic:string -> string -> (Metrics.Json.v, error) result
+(** Read a {!framed} file: verify the magic, the promised payload length
+    and the checksum, then parse the payload as JSON.  Total — any
+    truncation, corruption or foreign file is a typed [Error]; nothing
+    raises.  The building block for other framed stores (the query
+    service's result cache among them). *)
 
 val fingerprint : Spp.Instance.t -> string
 (** Hex digest of the instance's names, destination, edges and ranked

@@ -357,6 +357,17 @@ let explore_seq ~config ~reduction ?metrics ?checkpoint ?frontier ?resume inst
       }
   in
   let since_checkpoint = ref 0 in
+  (* Counters live in local refs for the hot path; a checkpoint write is
+     the natural moment to publish progress to the shared metrics, so a
+     concurrent observer (the query daemon streaming job events) sees
+     the interned count advance at checkpoint granularity instead of
+     only at the final merge. *)
+  let m_flushed = ref 0 in
+  let flush_progress () =
+    tick metrics (fun m ->
+        Metrics.add_interned m (!c_interned - !m_flushed);
+        m_flushed := !c_interned)
+  in
   let continue = ref true in
   while !continue do
     match fpop () with
@@ -410,12 +421,13 @@ let explore_seq ~config ~reduction ?metrics ?checkpoint ?frontier ?resume inst
         incr since_checkpoint;
         if !since_checkpoint >= every && not (Queue.is_empty queue) then begin
           since_checkpoint := 0;
-          write_checkpoint path
+          write_checkpoint path;
+          flush_progress ()
         end
       | None -> ())
   done;
   tick metrics (fun m ->
-      Metrics.add_interned m !c_interned;
+      Metrics.add_interned m (!c_interned - !m_flushed);
       Metrics.add_dedup m !c_dedup;
       Metrics.add_edges m !c_edges;
       Metrics.add_pruned m !c_pruned;

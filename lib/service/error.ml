@@ -1,0 +1,31 @@
+type t =
+  | Usage of string
+  | Unknown_instance of { name : string; hint : string }
+  | Unknown_model of string
+  | Io of { path : string; message : string }
+  | Corrupt of { path : string; detail : string }
+  | Unknown_job of string
+  | Internal of string
+
+let to_string = function
+  | Usage m -> m
+  | Unknown_instance { name; hint } ->
+    Printf.sprintf "unknown instance %S (%s)" name hint
+  | Unknown_model m -> Printf.sprintf "unknown model %S" m
+  | Io { path; message } -> Printf.sprintf "%s: %s" path message
+  | Corrupt { path; detail } -> Printf.sprintf "%s: %s" path detail
+  | Unknown_job j -> Printf.sprintf "unknown job id %S" j
+  | Internal m -> Printf.sprintf "internal error: %s" m
+
+let pp ppf e = Format.pp_print_string ppf (to_string e)
+
+let kind = function
+  | Usage _ -> "usage"
+  | Unknown_instance _ -> "unknown-instance"
+  | Unknown_model _ -> "unknown-model"
+  | Io _ -> "io"
+  | Corrupt _ -> "corrupt"
+  | Unknown_job _ -> "unknown-job"
+  | Internal _ -> "internal"
+
+let exit_code = function Usage _ -> 2 | _ -> 1

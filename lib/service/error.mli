@@ -1,0 +1,33 @@
+(** The query service's typed errors.
+
+    Every fallible library entry point in [lib/service] returns a
+    [('a, Error.t) result] in the {!Engine.Snapshot.error} style: the
+    constructor says what went wrong, the payload says where.  Nothing in
+    the library calls [exit] or lets an exception escape — the daemon
+    must survive any malformed request, corrupt store entry or vanished
+    instance, and the CLIs map errors to exit codes in exactly one place
+    ({!exit_code}). *)
+
+type t =
+  | Usage of string
+      (** a malformed request or bad CLI arguments; exit code 2 *)
+  | Unknown_instance of { name : string; hint : string }
+  | Unknown_model of string
+  | Io of { path : string; message : string }
+  | Corrupt of { path : string; detail : string }
+      (** a store entry, manifest or checkpoint that failed validation *)
+  | Unknown_job of string
+  | Internal of string  (** an exception caught at the service boundary *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+val kind : t -> string
+(** Stable machine-readable tag used in protocol error responses:
+    ["usage"], ["unknown-instance"], ["unknown-model"], ["io"],
+    ["corrupt"], ["unknown-job"], ["internal"]. *)
+
+val exit_code : t -> int
+(** [Usage] is 2 (the repo-wide bad-arguments convention); everything
+    else is 1.  The {e only} place a service error becomes an exit
+    code. *)

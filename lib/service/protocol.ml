@@ -1,0 +1,270 @@
+module Json = Engine.Metrics.Json
+
+type query_config = { bound : int; max_states : int }
+
+let default_query_config = { bound = 4; max_states = 200_000 }
+
+type request =
+  | Ping
+  | Check of {
+      instance : string;
+      model : Engine.Model.t;
+      config : query_config;
+      fresh : bool;
+    }
+  | Sweep of {
+      instance : string;
+      models : Engine.Model.t list;
+      config : query_config;
+      fresh : bool;
+    }
+  | Realize of { source : Engine.Model.t; target : Engine.Model.t }
+  | Bgp of { nodes : int; seed : int; model : Engine.Model.t; shards : int; fresh : bool }
+  | Job_start of {
+      instance : string;
+      model : Engine.Model.t;
+      config : query_config;
+      every : int;
+    }
+  | Job_status of { job : string }
+  | Job_resume of { job : string }
+  | Stats
+  | Shutdown
+
+type envelope = { id : Json.v; req : request }
+
+let methods =
+  [
+    "ping";
+    "check";
+    "sweep";
+    "realize";
+    "bgp";
+    "job_start";
+    "job_status";
+    "job_resume";
+    "stats";
+    "shutdown";
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Encoding: canonical form with defaults explicit, so the round trip
+   through [of_line] is the identity on every request kind. *)
+
+let num i = Json.Num (float_of_int i)
+let model_j m = Json.Str (Engine.Model.to_string m)
+
+let config_fields (c : query_config) =
+  [ ("bound", num c.bound); ("max_states", num c.max_states) ]
+
+let to_json { id; req } =
+  let meth name params = Json.Obj [ ("id", id); ("method", Json.Str name); ("params", Json.Obj params) ] in
+  match req with
+  | Ping -> meth "ping" []
+  | Check { instance; model; config; fresh } ->
+    meth "check"
+      ([ ("instance", Json.Str instance); ("model", model_j model) ]
+      @ config_fields config
+      @ [ ("fresh", Json.Bool fresh) ])
+  | Sweep { instance; models; config; fresh } ->
+    meth "sweep"
+      ([
+         ("instance", Json.Str instance);
+         ("models", Json.List (List.map model_j models));
+       ]
+      @ config_fields config
+      @ [ ("fresh", Json.Bool fresh) ])
+  | Realize { source; target } ->
+    meth "realize" [ ("source", model_j source); ("target", model_j target) ]
+  | Bgp { nodes; seed; model; shards; fresh } ->
+    meth "bgp"
+      [
+        ("nodes", num nodes);
+        ("seed", num seed);
+        ("model", model_j model);
+        ("shards", num shards);
+        ("fresh", Json.Bool fresh);
+      ]
+  | Job_start { instance; model; config; every } ->
+    meth "job_start"
+      ([ ("instance", Json.Str instance); ("model", model_j model) ]
+      @ config_fields config
+      @ [ ("every", num every) ])
+  | Job_status { job } -> meth "job_status" [ ("job", Json.Str job) ]
+  | Job_resume { job } -> meth "job_resume" [ ("job", Json.Str job) ]
+  | Stats -> meth "stats" []
+  | Shutdown -> meth "shutdown" []
+
+(* ------------------------------------------------------------------ *)
+(* Decoding.  Total: every failure is a typed [Usage]/[Unknown_model]
+   error carrying the request id so the server can address its reply. *)
+
+let ( let* ) = Result.bind
+
+let usage m = Error (Error.Usage m)
+
+let str_param params name =
+  match Json.member name params with
+  | Some (Json.Str s) -> Ok (Some s)
+  | Some _ -> usage (Printf.sprintf "param %S must be a string" name)
+  | None -> Ok None
+
+let required what = function
+  | Some v -> Ok v
+  | None -> usage (Printf.sprintf "missing required param %S" what)
+
+let int_param params name ~default =
+  match Json.member name params with
+  | Some (Json.Num f) ->
+    if Float.is_integer f then Ok (int_of_float f)
+    else usage (Printf.sprintf "param %S must be an integer" name)
+  | Some _ -> usage (Printf.sprintf "param %S must be an integer" name)
+  | None -> Ok default
+
+let bool_param params name ~default =
+  match Json.member name params with
+  | Some (Json.Bool b) -> Ok b
+  | Some _ -> usage (Printf.sprintf "param %S must be a bool" name)
+  | None -> Ok default
+
+let model_of_string s =
+  match Engine.Model.of_string s with
+  | Some m -> Ok m
+  | None -> Error (Error.Unknown_model s)
+
+let model_param params name =
+  let* s = str_param params name in
+  let* s = required name s in
+  model_of_string s
+
+let config_params params =
+  let* bound = int_param params "bound" ~default:default_query_config.bound in
+  let* max_states =
+    int_param params "max_states" ~default:default_query_config.max_states
+  in
+  if bound < 1 then usage "param \"bound\" must be at least 1"
+  else if max_states < 1 then usage "param \"max_states\" must be at least 1"
+  else Ok { bound; max_states }
+
+let instance_param params =
+  let* i = str_param params "instance" in
+  required "instance" i
+
+let request_of ~meth ~params =
+  match meth with
+  | "ping" -> Ok Ping
+  | "check" ->
+    let* instance = instance_param params in
+    let* model = model_param params "model" in
+    let* config = config_params params in
+    let* fresh = bool_param params "fresh" ~default:false in
+    Ok (Check { instance; model; config; fresh })
+  | "sweep" ->
+    let* instance = instance_param params in
+    let* models =
+      match Json.member "models" params with
+      | None -> Ok []
+      | Some (Json.List l) ->
+        List.fold_left
+          (fun acc j ->
+            let* acc = acc in
+            match j with
+            | Json.Str s ->
+              let* m = model_of_string s in
+              Ok (m :: acc)
+            | _ -> usage "param \"models\" must be a list of model names")
+          (Ok []) l
+        |> Result.map List.rev
+      | Some _ -> usage "param \"models\" must be a list of model names"
+    in
+    let* config = config_params params in
+    let* fresh = bool_param params "fresh" ~default:false in
+    Ok (Sweep { instance; models; config; fresh })
+  | "realize" ->
+    let* source = model_param params "source" in
+    let* target = model_param params "target" in
+    Ok (Realize { source; target })
+  | "bgp" ->
+    let* nodes = int_param params "nodes" ~default:1_000 in
+    let* seed = int_param params "seed" ~default:1 in
+    let* model =
+      match Json.member "model" params with
+      | None -> Ok Engine.Model.{ rel = Reliable; nbr = N_multi; msg = M_some }
+      | Some (Json.Str s) -> model_of_string s
+      | Some _ -> usage "param \"model\" must be a string"
+    in
+    let* shards = int_param params "shards" ~default:4 in
+    let* fresh = bool_param params "fresh" ~default:false in
+    if nodes < 16 then usage "param \"nodes\" must be at least 16"
+    else if shards < 1 then usage "param \"shards\" must be at least 1"
+    else Ok (Bgp { nodes; seed; model; shards; fresh })
+  | "job_start" ->
+    let* instance = instance_param params in
+    let* model = model_param params "model" in
+    let* config = config_params params in
+    let* every = int_param params "every" ~default:500 in
+    if every < 1 then usage "param \"every\" must be at least 1"
+    else Ok (Job_start { instance; model; config; every })
+  | "job_status" ->
+    let* job = str_param params "job" in
+    let* job = required "job" job in
+    Ok (Job_status { job })
+  | "job_resume" ->
+    let* job = str_param params "job" in
+    let* job = required "job" job in
+    Ok (Job_resume { job })
+  | "stats" -> Ok Stats
+  | "shutdown" -> Ok Shutdown
+  | _ ->
+    usage
+      (Printf.sprintf "unknown method %S (known: %s)" meth
+         (String.concat ", " methods))
+
+let of_json j =
+  let id = Option.value ~default:Json.Null (Json.member "id" j) in
+  let fail e = Error (id, e) in
+  match j with
+  | Json.Obj _ -> (
+    match Json.member "method" j with
+    | Some (Json.Str meth) -> (
+      let params = Option.value ~default:(Json.Obj []) (Json.member "params" j) in
+      match params with
+      | Json.Obj _ -> (
+        match request_of ~meth ~params with
+        | Ok req -> Ok { id; req }
+        | Error e -> fail e)
+      | _ -> fail (Error.Usage "\"params\" must be an object"))
+    | Some _ -> fail (Error.Usage "\"method\" must be a string")
+    | None -> fail (Error.Usage "missing \"method\""))
+  | _ -> fail (Error.Usage "a request must be a JSON object")
+
+let of_line line =
+  match Json.parse (String.trim line) with
+  | Ok j -> of_json j
+  | Error m -> Error (Json.Null, Error.Usage (Printf.sprintf "invalid JSON: %s" m))
+
+(* ------------------------------------------------------------------ *)
+
+let ok_line ~id ?cached result =
+  let cached_field =
+    match cached with Some b -> [ ("cached", Json.Bool b) ] | None -> []
+  in
+  Json.to_string
+    (Json.Obj ([ ("id", id); ("ok", Json.Bool true) ] @ cached_field @ [ ("result", result) ]))
+  ^ "\n"
+
+let error_line ~id e =
+  Json.to_string
+    (Json.Obj
+       [
+         ("id", id);
+         ("ok", Json.Bool false);
+         ( "error",
+           Json.Obj
+             [ ("kind", Json.Str (Error.kind e)); ("message", Json.Str (Error.to_string e)) ]
+         );
+       ])
+  ^ "\n"
+
+let event_line ~id ~event fields =
+  Json.to_string (Json.Obj (("id", id) :: ("event", Json.Str event) :: fields)) ^ "\n"

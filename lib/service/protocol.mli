@@ -1,0 +1,84 @@
+(** The daemon's wire protocol: newline-delimited JSON over a
+    Unix-domain socket.
+
+    One request per line: [{"id": <any>, "method": "<name>",
+    "params": {...}}].  The [id] is echoed verbatim in every response
+    and event for that request; [params] (and [id]) may be omitted.
+    Responses are one line each: [{"id": .., "ok": true, "cached": ..,
+    "result": {..}}] on success, [{"id": .., "ok": false, "error":
+    {"kind": .., "message": ..}}] on failure.  Deep jobs additionally
+    stream event lines [{"id": .., "event": "progress"|"done", "job":
+    .., ...}] on the connection that started (or resumed) them.
+
+    The codec is total: any byte sequence parses to either a typed
+    {!envelope} or a typed {!Error.t} — malformed input is answered, not
+    fatal. *)
+
+type query_config = { bound : int; max_states : int }
+(** The explorer configuration a query runs under; part of the
+    memoization key. *)
+
+val default_query_config : query_config
+(** Channel bound 4, at most 200_000 states — the repo-wide defaults. *)
+
+type request =
+  | Ping
+  | Check of {
+      instance : string;
+      model : Engine.Model.t;
+      config : query_config;
+      fresh : bool;  (** bypass the cache read (the result is still stored) *)
+    }
+  | Sweep of {
+      instance : string;
+      models : Engine.Model.t list;  (** empty means all 24 *)
+      config : query_config;
+      fresh : bool;
+    }
+  | Realize of { source : Engine.Model.t; target : Engine.Model.t }
+  | Bgp of {
+      nodes : int;
+      seed : int;
+      model : Engine.Model.t;
+      shards : int;
+      fresh : bool;
+    }
+  | Job_start of {
+      instance : string;
+      model : Engine.Model.t;
+      config : query_config;
+      every : int;  (** checkpoint period, in expanded states *)
+    }
+  | Job_status of { job : string }
+  | Job_resume of { job : string }
+  | Stats
+  | Shutdown
+
+type envelope = { id : Engine.Metrics.Json.v; req : request }
+
+val methods : string list
+(** Every method name, in a fixed order (for docs and goldens). *)
+
+val to_json : envelope -> Engine.Metrics.Json.v
+(** Canonical encoding (defaults made explicit).  [of_line] inverts it:
+    round-tripping any envelope through [to_json]/[of_line] is the
+    identity, locked by the protocol goldens in the test suite. *)
+
+val of_json : Engine.Metrics.Json.v -> (envelope, Engine.Metrics.Json.v * Error.t) result
+(** The error side carries the request id (or [Null]) so the server can
+    still address its error response. *)
+
+val of_line : string -> (envelope, Engine.Metrics.Json.v * Error.t) result
+
+(** {1 Response builders} — each returns one newline-terminated line. *)
+
+val ok_line :
+  id:Engine.Metrics.Json.v -> ?cached:bool -> Engine.Metrics.Json.v -> string
+
+val error_line : id:Engine.Metrics.Json.v -> Error.t -> string
+
+val event_line :
+  id:Engine.Metrics.Json.v ->
+  event:string ->
+  (string * Engine.Metrics.Json.v) list ->
+  string

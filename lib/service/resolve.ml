@@ -1,0 +1,34 @@
+let catalogue () =
+  Spp.Gadgets.all_named () @ [ ("SHORTEST-PATHS", Spp.Gadgets.shortest_paths ~n:5) ]
+
+let names () =
+  List.map fst (catalogue ()) @ [ "bgp:<seed>"; "random:<seed>"; "file:<path>" ]
+
+let hint () =
+  Printf.sprintf "try %s, bgp:<seed>, random:<seed> or file:<path>"
+    (String.concat ", " (List.map fst (catalogue ())))
+
+let find name : (Spp.Instance.t, Error.t) result =
+  let up = String.uppercase_ascii name in
+  match List.assoc_opt up (catalogue ()) with
+  | Some inst -> Ok inst
+  | None -> (
+    (* bgp:<seed> and random:<seed> are generated families. *)
+    match String.split_on_char ':' (String.lowercase_ascii name) with
+    | [ "bgp"; seed ] -> (
+      match int_of_string_opt seed with
+      | Some seed ->
+        let topo = Bgp.Topology.generate { Bgp.Topology.default_config with seed } in
+        Ok (Bgp.Policy.compile topo ~dest:(Bgp.Topology.size topo - 1))
+      | None -> Error (Error.Usage "bgp:<seed> expects an integer seed"))
+    | [ "random"; seed ] -> (
+      match int_of_string_opt seed with
+      | Some seed -> Ok (Spp.Generator.instance { Spp.Generator.default with seed })
+      | None -> Error (Error.Usage "random:<seed> expects an integer seed"))
+    | "file" :: rest -> (
+      let path = String.concat ":" rest in
+      match Spp.Dsl.parse_file path with
+      | Ok inst -> Ok inst
+      | Error e -> Error (Error.Corrupt { path; detail = e })
+      | exception Sys_error m -> Error (Error.Io { path; message = m }))
+    | _ -> Error (Error.Unknown_instance { name; hint = hint () }))

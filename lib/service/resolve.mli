@@ -1,0 +1,21 @@
+(** Instance-specification resolution, shared by the CLIs and the query
+    daemon.
+
+    A specification is a fixed gadget name ([DISAGREE], [FIG6], ...), a
+    generated family ([bgp:<seed>], [random:<seed>]) or a DSL file
+    ([file:<path>]).  Resolution is deterministic: the same spec always
+    yields the same instance (and hence the same
+    {!Engine.Snapshot.fingerprint}), which is what makes specs usable as
+    memoization keys. *)
+
+val catalogue : unit -> (string * Spp.Instance.t) list
+(** Every fixed gadget with its (uppercase) name. *)
+
+val names : unit -> string list
+(** The catalogue names plus the spec templates, for usage messages. *)
+
+val find : string -> (Spp.Instance.t, Error.t) result
+(** Resolve a spec.  Never raises: unknown names are
+    [Unknown_instance] (with a hint listing the valid specs), malformed
+    seeds are [Usage], unreadable or invalid DSL files are [Io] /
+    [Corrupt]. *)

@@ -1,0 +1,31 @@
+(** The query daemon: a single select-driven event loop serving the
+    {!Protocol} over a Unix-domain socket.
+
+    Connections are newline-delimited JSON, any number of clients.  Each
+    select round drains every readable connection, then answers:
+    control requests (ping, stats, job management, shutdown) inline;
+    compute requests ([check]/[sweep]/[bgp]/[realize]) batched onto the
+    {!Engine.Pool} — workers pull requests off an atomic index, results
+    land in per-request slots, and responses are written back in arrival
+    order, so each connection sees strict FIFO responses no matter how
+    the batch interleaves.  Deep jobs run on their own domains
+    ({!Jobs}); their progress/done events stream to the connection that
+    started or resumed them, between that connection's other responses.
+
+    Durability: the daemon can be SIGKILLed at any point.  The store
+    only ever exposes complete entries (atomic, fsynced writes), and
+    running jobs leave a manifest + checkpoint behind that a fresh
+    daemon resumes to a bit-identical result. *)
+
+type config = {
+  socket : string;  (** path; unlinked on bind if stale, and on exit *)
+  store : Store.config;
+  workers : int;  (** pool fan-out for batched compute requests *)
+}
+
+val run : ?on_ready:(unit -> unit) -> config -> (unit, Error.t) result
+(** Serves until a [shutdown] request; [on_ready] fires once the socket
+    is listening (used by the forked test harnesses).  Returns typed
+    errors for a bind failure, an unusable store directory, or a
+    contradictory fact base — mapping them to exit codes is the
+    caller's job. *)

@@ -1,0 +1,81 @@
+(** The on-disk memoized result store.
+
+    Every expensive answer the daemon can give — a per-(instance, model)
+    oscillation verdict, a sharded BGP fixpoint — is a pure function of
+    its inputs, so it is cached in a directory of entry files keyed by
+    [(instance digest, model, config fingerprint)].  Entries ride on
+    {!Engine.Snapshot}'s storage primitives: the framed, checksummed
+    layout ({!Engine.Snapshot.framed}) written atomically and durably
+    ({!Engine.Snapshot.write_atomic}), so a crash mid-[put] never leaves
+    a visible partial entry and concurrent writers never interleave.
+
+    Reads are defensive: a corrupt, truncated or foreign entry file is
+    {e evicted} (deleted) and reported as a miss, never an error — the
+    cache heals itself.  An entry whose embedded key fields do not match
+    the requested ones (a config-fingerprint drift, e.g. after a result
+    schema bump, or an md5 collision) is likewise refused and evicted.
+    The store is bounded: after each [put] the least recently used
+    entries beyond [max_entries] are evicted (recency is file mtime,
+    refreshed on every hit).
+
+    All operations are safe to call concurrently from several domains
+    and several processes sharing the directory: puts are atomic
+    renames, and a get racing an eviction simply misses. *)
+
+type config = { dir : string; max_entries : int }
+
+val default_max_entries : int
+(** 512 entries. *)
+
+type t
+
+val magic : string
+(** ["commrouting/store/v1"] — the entry files' framing magic.  Bumping
+    it orphans (and on first contact evicts) every existing entry. *)
+
+val open_ : config -> (t, Error.t) result
+(** Create the directory if missing (recursively) and sweep any stale
+    [*.tmp.*] files a crashed writer left behind. *)
+
+val config_fingerprint : string list -> string
+(** Digest of the store schema plus the given configuration parts (query
+    kind, result schema version, bounds...).  Including {!magic} means a
+    store schema bump changes every fingerprint, so stale entries are
+    refused and evicted rather than deserialized wrongly. *)
+
+val key : instance:string -> model:string -> config_fp:string -> string
+(** The entry key (hex digest) for an instance digest, a model name and
+    a config fingerprint. *)
+
+val get :
+  t -> instance:string -> model:string -> config_fp:string ->
+  Engine.Metrics.Json.v option
+(** The cached result, or [None] on miss.  Corrupt and mismatched
+    entries are evicted on contact (counted separately in {!stats}); a
+    hit refreshes the entry's recency. *)
+
+val put :
+  t -> instance:string -> model:string -> config_fp:string ->
+  Engine.Metrics.Json.v -> (unit, Error.t) result
+(** Write (atomically, durably) and enforce the LRU cap.  An I/O failure
+    is a typed error — callers treat the store as best-effort. *)
+
+type stats = {
+  hits : int;
+  misses : int;
+  puts : int;
+  corrupt_evicted : int;  (** framing/parse failures deleted on [get] *)
+  mismatch_evicted : int;  (** key-field mismatches deleted on [get] *)
+  lru_evicted : int;  (** entries deleted by the size cap *)
+}
+
+val stats : t -> stats
+val stats_json : t -> Engine.Metrics.Json.v
+
+val entry_count : t -> int
+(** Entry files currently on disk (for tests and the stats endpoint). *)
+
+val entry_path : t -> key:string -> string
+(** Where an entry key lives (for tests and tooling). *)
+
+val dir : t -> string

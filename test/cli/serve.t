@@ -1,0 +1,43 @@
+The query daemon: startup, a cold/warm cache-hit pair, malformed and
+unknown-name requests, graceful shutdown.  Sockets live in /tmp because
+the kernel caps Unix-socket paths at ~108 bytes (dune sandbox paths are
+longer than that).
+
+  $ SOCK=/tmp/serve-cram-$$.sock
+  $ STORE=/tmp/serve-cram-$$.store
+  $ serve daemon --socket $SOCK --store $STORE &
+  $ serve request --socket $SOCK --wait 30 '{"id":0,"method":"ping"}'
+  {"id":0,"ok":true,"result":{"pong":true}}
+
+The same check twice: the first computes, the second is served from the
+on-disk store (identical result bytes, cached flag flipped).
+
+  $ serve request --socket $SOCK '{"id":1,"method":"check","params":{"instance":"DISAGREE","model":"REA"}}'
+  {"id":1,"ok":true,"cached":false,"result":{"verdict":"converges","states":8,"edges":24,"pruned":false,"truncated":false}}
+  $ serve request --socket $SOCK '{"id":2,"method":"check","params":{"instance":"DISAGREE","model":"REA"}}'
+  {"id":2,"ok":true,"cached":true,"result":{"verdict":"converges","states":8,"edges":24,"pruned":false,"truncated":false}}
+
+A realization query (closure cell plus the constructive chain).
+
+  $ serve request --socket $SOCK '{"id":3,"method":"realize","params":{"source":"R1S","target":"R1O"}}'
+  {"id":3,"ok":true,"result":{"source":"R1S","target":"R1O","proven":2,"disproven":3,"notation":"2","achievable":true,"constructive":{"level":"subsequence","chain":[{"rule":"serialize R1S->R1O (Prop. 3.6)","from":"R1S","to":"R1O"}]}}}
+
+Malformed JSON is a usage error (exit 2, the repo-wide bad-arguments
+convention); an unknown model is a typed error (exit 1).  Neither
+disturbs the daemon.
+
+  $ serve request --socket $SOCK 'not json'
+  serve: invalid JSON: bad literal at 0
+  [2]
+  $ serve request --socket $SOCK '{"method":"check","params":{"instance":"DISAGREE","model":"XYZ"}}'
+  serve: unknown model "XYZ"
+  [1]
+  $ serve request --socket $SOCK '{"id":4,"method":"ping"}'
+  {"id":4,"ok":true,"result":{"pong":true}}
+
+Stop the daemon and wait for it to exit cleanly.
+
+  $ serve stop --socket $SOCK
+  {"id":null,"ok":true,"result":{"stopping":true}}
+  $ wait
+  $ rm -rf $STORE

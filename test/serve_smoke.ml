@@ -1,0 +1,231 @@
+(* serve_smoke: end-to-end daemon smoke test, exercised by @serve-smoke
+   (wired into @runtest) and mirrored by the CI serve-smoke job.
+
+   Forks a daemon (both daemon processes are forked before the parent
+   spawns any domain of its own), then:
+     1. answers a malformed raw line with a typed error and keeps the
+        connection usable;
+     2. cold/warm check pair: identical result bytes, cached flags
+        false/true;
+     3. starts a deep streaming job, waits for a progress event (which
+        implies a checkpoint is on disk — progress is flushed after each
+        checkpoint write), SIGKILLs the daemon mid-job;
+     4. starts a second daemon on the same store, observes the job as
+        suspended-with-checkpoint, resumes it by id, drains events to
+        completion;
+     5. gates the resumed result byte-for-byte against an uncached
+        in-process reference — the daemon must be indistinguishable from
+        the one-shot computation.
+
+   Exit 0 on success, 1 on any mismatch; diagnostics on stderr. *)
+
+module Json = Engine.Metrics.Json
+open Service
+
+let sock1 = Printf.sprintf "/tmp/css1-%d.sock" (Unix.getpid ())
+let sock2 = Printf.sprintf "/tmp/css2-%d.sock" (Unix.getpid ())
+let store_dir = Printf.sprintf "/tmp/css-store-%d" (Unix.getpid ())
+let failures = ref 0
+
+let check name ok =
+  if ok then Fmt.epr "ok   %s@." name
+  else begin
+    incr failures;
+    Fmt.epr "FAIL %s@." name
+  end
+
+let cleanup () =
+  ignore (Sys.command (Printf.sprintf "rm -rf %s %s %s" store_dir sock1 sock2))
+
+let die fmt =
+  Fmt.kstr
+    (fun m ->
+      Fmt.epr "serve_smoke: %s@." m;
+      cleanup ();
+      exit 1)
+    fmt
+
+(* Fork a daemon; it starts serving only once a byte arrives on its
+   trigger pipe, so both children are created while the parent is still
+   a single clean domain. *)
+let fork_daemon ~socket =
+  let r, w = Unix.pipe ~cloexec:false () in
+  match Unix.fork () with
+  | 0 -> (
+    Unix.close w;
+    let buf = Bytes.create 1 in
+    let n = Unix.read r buf 0 1 in
+    Unix.close r;
+    if n = 0 then exit 0 (* parent died before triggering *)
+    else
+      match
+        Server.run
+          {
+            Server.socket;
+            store = { Store.dir = store_dir; max_entries = 64 };
+            workers = 2;
+          }
+      with
+      | Ok () -> exit 0
+      | Error e ->
+        Fmt.epr "daemon: %a@." Error.pp e;
+        exit (Error.exit_code e))
+  | pid ->
+    Unix.close r;
+    (pid, w)
+
+let trigger w = ignore (Unix.write_substring w "g" 0 1)
+
+let connect_retry socket =
+  let deadline = Unix.gettimeofday () +. 30. in
+  let rec go () =
+    match Client.connect ~socket with
+    | Ok c -> c
+    | Error e ->
+      if Unix.gettimeofday () > deadline then
+        die "cannot reach daemon at %s: %a" socket Error.pp e
+      else begin
+        ignore (Unix.select [] [] [] 0.05);
+        go ()
+      end
+  in
+  go ()
+
+let req c r =
+  match Client.request c { Protocol.id = Json.Null; req = r } with
+  | Ok j -> j
+  | Error e -> die "request failed: %a" Error.pp e
+
+let member name j =
+  match Json.member name j with
+  | Some v -> v
+  | None -> die "response lacks %S: %s" name (Json.to_string j)
+
+let is_ok j = Json.member "ok" j = Some (Json.Bool true)
+
+let deep_instance = "FIG6"
+let deep_model = "R1A"
+let qc = Protocol.default_query_config
+
+let deep_model_t =
+  match Engine.Model.of_string deep_model with
+  | Some m -> m
+  | None -> assert false
+
+let () =
+  cleanup ();
+  (* Both forks happen before any Domain.spawn in this process. *)
+  let pid1, w1 = fork_daemon ~socket:sock1 in
+  let pid2, w2 = fork_daemon ~socket:sock2 in
+  trigger w1;
+  let c = connect_retry sock1 in
+
+  (* --- malformed raw input: answered, not fatal ------------------- *)
+  (match Client.send_raw c "this is { not json\n" with
+  | Ok () -> ()
+  | Error e -> die "send_raw: %a" Error.pp e);
+  (match Client.read_json c with
+  | Ok j ->
+    check "malformed line gets an error response"
+      ((not (is_ok j))
+      && Json.member "kind" (member "error" j) = Some (Json.Str "usage"))
+  | Error e -> die "no response to malformed line: %a" Error.pp e);
+  let pong = req c Protocol.Ping in
+  check "connection survives malformed input" (is_ok pong);
+
+  (* --- cold/warm pair -------------------------------------------- *)
+  let check_req fresh =
+    Protocol.Check
+      { instance = "DISAGREE"; model = Engine.Model.{ rel = Reliable; nbr = N_one; msg = M_one }; config = qc; fresh }
+  in
+  let cold = req c (check_req false) in
+  let warm = req c (check_req false) in
+  check "cold check is ok" (is_ok cold);
+  check "cold check is uncached" (Json.member "cached" cold = Some (Json.Bool false));
+  check "warm check is a cache hit" (Json.member "cached" warm = Some (Json.Bool true));
+  check "cold and warm results byte-identical"
+    (Json.to_string (member "result" cold) = Json.to_string (member "result" warm));
+
+  (* --- deep streaming job, killed mid-flight --------------------- *)
+  let job_req =
+    Protocol.Job_start
+      { instance = deep_instance; model = deep_model_t; config = qc; every = 150 }
+  in
+  let started = req c job_req in
+  check "job starts running" (is_ok started);
+  let job_id =
+    match member "job" (member "result" started) with
+    | Json.Str s -> s
+    | _ -> die "no job id in %s" (Json.to_string started)
+  in
+  (* The first progress event is emitted after a checkpoint write, so
+     once we see it there is a checkpoint on disk to resume from. *)
+  (match Client.wait_event c with
+  | Ok ev ->
+    check "progress event streams"
+      (Json.member "event" ev = Some (Json.Str "progress"))
+  | Error e -> die "no progress event: %a" Error.pp e);
+  Unix.kill pid1 Sys.sigkill;
+  ignore (Unix.waitpid [] pid1);
+  Client.close c;
+  check "daemon killed mid-job" true;
+
+  (* --- resume in a fresh daemon on the same store ----------------- *)
+  trigger w2;
+  let c2 = connect_retry sock2 in
+  let status = req c2 (Protocol.Job_status { job = job_id }) in
+  let status_obj = member "status" (member "result" status) in
+  check "job reported suspended after the kill"
+    (Json.member "state" status_obj = Some (Json.Str "suspended"));
+  check "a checkpoint survived the kill"
+    (Json.member "checkpoint" status_obj = Some (Json.Bool true));
+  let resumed = req c2 (Protocol.Job_resume { job = job_id }) in
+  check "resume by job id accepted" (is_ok resumed);
+  let deadline = Unix.gettimeofday () +. 120. in
+  let rec drain () =
+    if Unix.gettimeofday () > deadline then die "job did not finish in time";
+    match Client.wait_event c2 with
+    | Ok ev -> (
+      match Json.member "event" ev with
+      | Some (Json.Str "done") -> member "result" ev
+      | Some (Json.Str "failed") -> die "job failed: %s" (Json.to_string ev)
+      | _ -> drain ())
+    | Error e -> die "event stream broke: %a" Error.pp e
+  in
+  let job_result = drain () in
+
+  (* The finished job is a warm check for the same triple. *)
+  let via_check =
+    req c2
+      (Protocol.Check
+         { instance = deep_instance; model = deep_model_t; config = qc; fresh = false })
+  in
+  check "finished job serves later checks from cache"
+    (Json.member "cached" via_check = Some (Json.Bool true));
+  check "job result equals the check result"
+    (Json.to_string job_result = Json.to_string (member "result" via_check));
+
+  (* --- equality gate against the uncached in-process reference ---- *)
+  (* Safe to spawn domains now: no more forks follow. *)
+  let inst =
+    match Resolve.find deep_instance with
+    | Ok i -> i
+    | Error e -> die "resolve: %a" Error.pp e
+  in
+  let reference = Query.compute_check inst deep_model_t qc in
+  check "resumed job result byte-identical to one-shot reference"
+    (Json.to_string job_result = Json.to_string reference);
+
+  (* --- graceful shutdown ----------------------------------------- *)
+  let bye = req c2 Protocol.Shutdown in
+  check "shutdown acknowledged" (is_ok bye);
+  Client.close c2;
+  let _, st = Unix.waitpid [] pid2 in
+  check "daemon exits cleanly on shutdown" (st = Unix.WEXITED 0);
+
+  cleanup ();
+  if !failures > 0 then begin
+    Fmt.epr "serve_smoke: %d failure(s)@." !failures;
+    exit 1
+  end;
+  Fmt.pr "serve smoke: all checks passed@."
